@@ -1,0 +1,124 @@
+package cache8t
+
+import (
+	"testing"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	bad := []Config{
+		{CacheSizeBytes: 1000, Ways: 4, BlockBytes: 32, Controller: "rmw"},
+		{CacheSizeBytes: 1024, Ways: 4, BlockBytes: 32, Controller: "nope"},
+		{CacheSizeBytes: 1024, Ways: 4, BlockBytes: 32, Controller: "rmw", Replacement: "mru"},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestAccessRoundTrip(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Access(Access{Kind: Write, Addr: 0x100, Size: 8, Data: 77}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Access(Access{Kind: Read, Addr: 0x100, Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("read back %d, want 77", got)
+	}
+	res := sys.Finalize()
+	if res.Reads != 1 || res.Writes != 1 {
+		t.Fatalf("result counts = %+v", res)
+	}
+	if res.Controller != "WG+RB" {
+		t.Fatalf("controller = %q", res.Controller)
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	sys, _ := New(DefaultConfig())
+	if _, err := sys.Access(Access{Kind: Read, Size: 3}); err == nil {
+		t.Fatal("size 3 accepted")
+	}
+	sys.Finalize()
+	if _, err := sys.Access(Access{Kind: Read, Size: 8}); err == nil {
+		t.Fatal("access after Finalize accepted")
+	}
+	if res := sys.Finalize(); res.Reads != 0 {
+		t.Fatal("double Finalize returned data")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 25 {
+		t.Fatalf("got %d workloads, want 25", len(names))
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := RunWorkload(cfg, "gcc", 7, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(cfg, "gcc", 7, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same run differed:\n%+v\n%+v", a, b)
+	}
+	if _, err := RunWorkload(cfg, "nope", 7, 100); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCompareShowsReduction(t *testing.T) {
+	tech, base, err := Compare(DefaultConfig(), "bwaves", 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := tech.ReductionVs(base)
+	if red < 0.40 || red > 0.65 {
+		t.Fatalf("bwaves WG+RB reduction = %.3f, expected around 0.5", red)
+	}
+	if tech.GroupedWrites == 0 || tech.BypassedReads == 0 {
+		t.Fatalf("Set-Buffer counters empty: %+v", tech)
+	}
+	if base.ArrayAccesses() <= base.Reads+base.Writes {
+		t.Fatal("RMW baseline should exceed one access per request")
+	}
+}
+
+func TestReductionVsZeroBase(t *testing.T) {
+	if (Result{}).ReductionVs(Result{}) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+}
+
+func TestDepthAndAblationKnobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferDepth = 4
+	if _, err := RunWorkload(cfg, "lbm", 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	cfg.BufferDepth = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.DisableSilentElision = true
+	if _, err := RunWorkload(cfg, "lbm", 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Command calibrate prints the measured stream statistics and access
+// reductions for every benchmark profile, side by side — the tool used to
+// tune internal/workload's profile table against the paper's anchors.
+//
+// Usage:
+//
+//	calibrate [-n accesses] [-sens]
+//
+// -sens additionally sweeps the Figure 10/11 cache shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	n := flag.Int("n", 400000, "accesses per benchmark")
+	sens := flag.Bool("sens", false, "also sweep Figure 10/11 cache shapes")
+	flag.Parse()
+
+	cfg := cache.DefaultConfig()
+	g := cache.MustGeometry(cfg.SizeBytes, cfg.Ways, cfg.BlockBytes)
+	var sumR, sumW, sumSS, sumWW, sumRR, sumSil, sumWG, sumRB float64
+	fmt.Printf("%-11s %6s %6s | %6s %6s %6s %6s %6s | %6s | %6s %6s\n",
+		"bench", "rd/ins", "wr/ins", "same", "RR", "RW", "WR", "WW", "silent", "WG", "WG+RB")
+	for _, p := range workload.Profiles() {
+		accs, err := workload.Take(p, 1, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an := core.Analyze(trace.FromSlice(accs), g, 0)
+		res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, cfg, core.Options{}, accs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
+		wgRed := 1 - float64(wg)/float64(rmw)
+		rbRed := 1 - float64(rb)/float64(rmw)
+		fmt.Printf("%-11s %6.3f %6.3f | %6.3f %6.3f %6.3f %6.3f %6.3f | %6.3f | %6.3f %6.3f\n",
+			p.Name, an.Stats.ReadFrac(), an.Stats.WriteFrac(), an.SameSetFrac(),
+			an.RR(), an.RW(), an.WR(), an.WW(), an.SilentFrac(), wgRed, rbRed)
+		sumR += an.Stats.ReadFrac()
+		sumW += an.Stats.WriteFrac()
+		sumSS += an.SameSetFrac()
+		sumWW += an.WW()
+		sumRR += an.RR()
+		sumSil += an.SilentFrac()
+		sumWG += wgRed
+		sumRB += rbRed
+	}
+	k := float64(len(workload.Profiles()))
+	fmt.Printf("%-11s %6.3f %6.3f | %6.3f %6.3f %19s %6.3f | %6.3f | %6.3f %6.3f\n",
+		"MEAN", sumR/k, sumW/k, sumSS/k, sumRR/k, "", sumWW/k, sumSil/k, sumWG/k, sumRB/k)
+
+	if *sens {
+		if err := sensitivity(*n); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// sensitivity sweeps the Figure 10/11 cache shapes and prints mean
+// reductions for each.
+func sensitivity(n int) error {
+	shapes := []struct {
+		name string
+		cfg  cache.Config
+	}{
+		{"base 64K/4w/32B", cache.Config{SizeBytes: 64 * 1024, Ways: 4, BlockBytes: 32, Policy: cache.LRU}},
+		{"fig10 32K/4w/64B", cache.Config{SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 64, Policy: cache.LRU}},
+		{"fig11 32K/4w/32B", cache.Config{SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 32, Policy: cache.LRU}},
+		{"fig11 128K/4w/32B", cache.Config{SizeBytes: 128 * 1024, Ways: 4, BlockBytes: 32, Policy: cache.LRU}},
+	}
+	for _, s := range shapes {
+		var sumWG, sumRB float64
+		for _, p := range workload.Profiles() {
+			accs, err := workload.Take(p, 1, n)
+			if err != nil {
+				return err
+			}
+			res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, s.cfg, core.Options{}, accs)
+			if err != nil {
+				return err
+			}
+			rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
+			sumWG += 1 - float64(wg)/float64(rmw)
+			sumRB += 1 - float64(rb)/float64(rmw)
+		}
+		k := float64(len(workload.Profiles()))
+		fmt.Printf("%-18s WG=%.3f WG+RB=%.3f\n", s.name, sumWG/k, sumRB/k)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command figures regenerates the paper's tables and figures (plus the
+// ablations) and prints each with the paper's reported values alongside the
+// measured ones — the reproduction's main entry point.
+//
+// Usage:
+//
+//	figures                          run everything
+//	figures -fig 9 -fig 10           run selected artifacts
+//	figures -n 1000000 -csv out/     larger budget, CSV copies
+//	figures -bars                    add ASCII bar charts for reduction figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cache8t/internal/experiments"
+	"cache8t/internal/stats"
+)
+
+// figList accumulates repeated -fig flags.
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+
+func (f *figList) Set(v string) error {
+	// Accept both "9" and "fig9".
+	if _, err := strconv.Atoi(v); err == nil {
+		v = "fig" + v
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var figs figList
+	flag.Var(&figs, "fig", "artifact id to run (repeatable): 3,4,5,8,9,10,11, rmw, area, perf, ablation-*")
+	n := flag.Int("n", 400_000, "accesses per benchmark")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	csvDir := flag.String("csv", "", "directory to also write per-figure CSV files")
+	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
+	bars := flag.Bool("bars", false, "render ASCII bar charts for the reduction figures")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.AccessesPerBench = *n
+	cfg.Seed = *seed
+
+	selected := experiments.All()
+	if len(figs) > 0 {
+		selected = selected[:0]
+		for _, id := range figs {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("== %s ==\n", e.Title)
+		render := tab.Render
+		if *md {
+			render = tab.Markdown
+		}
+		if err := render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *bars && strings.HasPrefix(e.ID, "fig") && len(tab.Columns) >= 3 && tab.Columns[1] == "WG" {
+			renderBars(tab)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, tab); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// renderBars draws the WG+RB column of a reduction table as a bar chart,
+// echoing the paper's bar-per-benchmark figures.
+func renderBars(tab *stats.Table) {
+	var labels []string
+	var ratios []float64
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[0], "MEAN") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(r[2], "%"), 64)
+		if err != nil {
+			continue
+		}
+		labels = append(labels, r[0])
+		ratios = append(ratios, v/100)
+	}
+	fmt.Print(stats.Bars("WG+RB reduction", labels, ratios, 50))
+}
+
+func writeCSV(dir, id string, tab *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tab.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

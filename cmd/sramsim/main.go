@@ -1,0 +1,179 @@
+// Command sramsim runs one (workload, controller, cache shape) simulation
+// and prints the full ledger: demand traffic, array traffic, Set-Buffer
+// activity, functional cache statistics, and the modeled timing/energy.
+//
+// Usage:
+//
+//	sramsim -workload bwaves -controller wgrb -n 1000000
+//	sramsim -trace requests.c8tt -controller rmw
+//	sramsim -list
+//
+// The -trace flag replays a binary trace written by tracegen instead of a
+// synthetic workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/energy"
+	"cache8t/internal/sram"
+	"cache8t/internal/stats"
+	"cache8t/internal/timing"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sramsim: ")
+
+	var (
+		workloadName = flag.String("workload", "bwaves", "bundled workload name (see -list)")
+		traceFile    = flag.String("trace", "", "binary trace file to replay instead of a workload")
+		controller   = flag.String("controller", "wgrb", "conventional|rmw|localrmw|word|coalesce|wg|wgrb")
+		n            = flag.Int("n", 1_000_000, "accesses to simulate (workloads only; traces replay fully)")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		sizeKB       = flag.Int("size", 64, "cache size in KB")
+		ways         = flag.Int("ways", 4, "associativity")
+		block        = flag.Int("block", 32, "block size in bytes")
+		policy       = flag.String("policy", "lru", "replacement policy: lru|fifo|random|plru")
+		depth        = flag.Int("depth", 1, "Set-Buffer entries (wg/wgrb)")
+		noSilent     = flag.Bool("no-silent-elision", false, "disable the Dirty-bit silent-write optimization")
+		countFills   = flag.Bool("count-fills", false, "include miss-handling traffic in array-access totals")
+		voltage      = flag.Float64("vdd", 1.0, "operating voltage for the energy report")
+		freq         = flag.Float64("freq", 2000, "operating frequency in MHz")
+		list         = flag.Bool("list", false, "list bundled workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+
+	kind, err := core.ParseKind(*controller)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := cache.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cache.Config{
+		SizeBytes:  *sizeKB * 1024,
+		Ways:       *ways,
+		BlockBytes: *block,
+		Policy:     pol,
+		Seed:       *seed,
+	}
+	opts := core.Options{
+		BufferDepth:          *depth,
+		DisableSilentElision: *noSilent,
+		CountFillTraffic:     *countFills,
+	}
+
+	var stream trace.Stream
+	var sourceName string
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reader, err := trace.NewAutoReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := reader.Err(); err != nil {
+				log.Fatalf("trace decode: %v", err)
+			}
+		}()
+		stream = reader
+		sourceName = *traceFile
+		*n = 0 // replay fully
+	} else {
+		gen, err := workload.Stream(*workloadName, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream = gen
+		sourceName = *workloadName
+	}
+
+	res, err := core.Run(kind, cfg, opts, stream, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(sourceName, cfg, res, *voltage, *freq)
+}
+
+func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz float64) {
+	g := res.Geometry
+	fmt.Printf("source      %s\n", source)
+	fmt.Printf("cache       %s, %v replacement\n", g, cfg.Policy)
+	fmt.Printf("controller  %s\n\n", res.Controller)
+
+	t := stats.NewTable("Demand traffic", "metric", "value")
+	t.AddRowf("reads", res.Counters.DemandReads)
+	t.AddRowf("writes", res.Counters.DemandWrites)
+	t.AddRowf("instructions", res.Requests.Instructions)
+	t.AddRowf("reads/instr", stats.Pct(res.Requests.ReadFrac()))
+	t.AddRowf("writes/instr", stats.Pct(res.Requests.WriteFrac()))
+	t.AddRowf("miss rate", stats.Pct(res.Cache.MissRate()))
+	mustRender(t)
+
+	t = stats.NewTable("Array traffic", "metric", "value")
+	t.AddRowf("array reads", res.ArrayReads)
+	t.AddRowf("array writes", res.ArrayWrites)
+	t.AddRowf("total array accesses", res.ArrayAccesses())
+	t.AddRowf("accesses/request", res.AccessesPerRequest())
+	mustRender(t)
+
+	c := res.Counters
+	if c.BufferFills > 0 || c.TagProbes > 0 {
+		t = stats.NewTable("Set-Buffer activity", "metric", "value")
+		t.AddRowf("tag probes", c.TagProbes)
+		t.AddRowf("tag hits", c.TagHits)
+		t.AddRowf("grouped writes", c.GroupedWrites)
+		t.AddRowf("silent writes", c.SilentWrites)
+		t.AddRowf("buffer fills", c.BufferFills)
+		t.AddRowf("buffer write-backs", c.BufferWritebacks)
+		t.AddRowf("premature write-backs", c.PrematureWBs)
+		t.AddRowf("write-backs elided (clean Dirty)", c.SilentElidedWBs)
+		t.AddRowf("bypassed reads", c.BypassedReads)
+		mustRender(t)
+	}
+
+	tp := timing.DefaultParams()
+	trep, err := timing.Evaluate(res, tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	erep, err := energy.Evaluate(res, sram.OperatingPoint{VoltageV: vdd, FreqMHz: freqMHz}, tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t = stats.NewTable(fmt.Sprintf("Modeled timing & energy (%.2fV/%.0fMHz)", vdd, freqMHz), "metric", "value")
+	t.AddRowf("CPI", fmt.Sprintf("%.4f", trep.CPI()))
+	t.AddRowf("avg read latency (cycles)", fmt.Sprintf("%.3f", trep.AvgReadLatency))
+	t.AddRowf("read-port utilization", stats.Pct(trep.ReadPortUtilization))
+	t.AddRowf("write-port utilization", stats.Pct(trep.WritePortUtilization))
+	t.AddRowf("dynamic energy", fmt.Sprintf("%.3e J", erep.DynamicJ))
+	t.AddRowf("leakage energy", fmt.Sprintf("%.3e J", erep.LeakageJ))
+	t.AddRowf("energy/access", fmt.Sprintf("%.3f nJ", energy.PerAccessJ(erep, res.Requests.Accesses())*1e9))
+	mustRender(t)
+}
+
+func mustRender(t *stats.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

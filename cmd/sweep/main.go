@@ -1,0 +1,140 @@
+// Command sweep explores the design space around the paper's sensitivity
+// analysis (§5.3): access-frequency reduction across cache sizes, block
+// sizes, associativities, and Set-Buffer depths, for one benchmark or the
+// mean over all of them.
+//
+// Usage:
+//
+//	sweep                          mean over all benchmarks, default grids
+//	sweep -bench bwaves            single benchmark
+//	sweep -n 200000 -controller wg only the WG reduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/stats"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	bench := flag.String("bench", "", "single benchmark (default: mean over all 25)")
+	n := flag.Int("n", 200_000, "accesses per benchmark")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	controller := flag.String("controller", "wgrb", "technique to sweep: wg|wgrb")
+	flag.Parse()
+
+	kind, err := core.ParseKind(*controller)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if kind != core.WG && kind != core.WGRB {
+		log.Fatalf("sweep compares %v against RMW; pick wg or wgrb", kind)
+	}
+
+	profiles := workload.Profiles()
+	if *bench != "" {
+		p, err := workload.ProfileByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	// Materialize each stream once; every grid point replays the same
+	// accesses.
+	streams := make([][]trace.Access, len(profiles))
+	for i, p := range profiles {
+		accs, err := workload.Take(p, *seed, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[i] = accs
+	}
+
+	meanReduction := func(cfg cache.Config, opts core.Options) float64 {
+		var sum float64
+		for _, accs := range streams {
+			res, err := core.RunAll([]core.Kind{core.RMW, kind}, cfg, opts, accs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += stats.Reduction(res[1].ArrayAccesses(), res[0].ArrayAccesses())
+		}
+		return sum / float64(len(streams))
+	}
+
+	label := "mean over 25 benchmarks"
+	if *bench != "" {
+		label = *bench
+	}
+	fmt.Printf("%s reduction vs RMW — %s, %d accesses/benchmark\n\n", kind, label, *n)
+
+	// Grid 1: capacity x block size (fixed 4-way, LRU, depth 1).
+	sizesKB := []int{16, 32, 64, 128, 256}
+	blocks := []int{16, 32, 64, 128}
+	t := stats.NewTable("capacity x block size (4-way, LRU)", gridCols("size \\ block", blocks)...)
+	for _, kb := range sizesKB {
+		row := []any{fmt.Sprintf("%dKB", kb)}
+		for _, b := range blocks {
+			cfg := cache.Config{SizeBytes: kb * 1024, Ways: 4, BlockBytes: b, Policy: cache.LRU}
+			row = append(row, stats.Pct(meanReduction(cfg, core.Options{})))
+		}
+		t.AddRowf(row...)
+	}
+	render(t)
+
+	// Grid 2: associativity (64KB/32B). Associativity changes the set row
+	// width, so the Set-Buffer covers more blocks at higher ways.
+	ways := []int{1, 2, 4, 8, 16}
+	t = stats.NewTable("associativity (64KB, 32B blocks)", "ways", "reduction")
+	for _, w := range ways {
+		cfg := cache.Config{SizeBytes: 64 * 1024, Ways: w, BlockBytes: 32, Policy: cache.LRU}
+		t.AddRowf(fmt.Sprintf("%d", w), stats.Pct(meanReduction(cfg, core.Options{})))
+	}
+	render(t)
+
+	// Grid 3: Set-Buffer depth (baseline shape).
+	depths := []int{1, 2, 4, 8, 16}
+	t = stats.NewTable("Set-Buffer depth (64KB/4w/32B)", "entries", "reduction")
+	for _, d := range depths {
+		cfg := cache.DefaultConfig()
+		t.AddRowf(fmt.Sprintf("%d", d), stats.Pct(meanReduction(cfg, core.Options{BufferDepth: d})))
+	}
+	render(t)
+
+	// Grid 4: replacement policy (baseline shape) — reductions are about
+	// write locality, so policy should barely matter; surprises here would
+	// flag a modeling bug.
+	t = stats.NewTable("replacement policy (64KB/4w/32B)", "policy", "reduction")
+	for _, pol := range []cache.PolicyKind{cache.LRU, cache.FIFO, cache.Random, cache.TreePLRU} {
+		cfg := cache.DefaultConfig()
+		cfg.Policy = pol
+		t.AddRowf(pol.String(), stats.Pct(meanReduction(cfg, core.Options{})))
+	}
+	render(t)
+}
+
+func gridCols(first string, blocks []int) []string {
+	cols := []string{first}
+	for _, b := range blocks {
+		cols = append(cols, fmt.Sprintf("%dB", b))
+	}
+	return cols
+}
+
+func render(t *stats.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,61 @@
+// Writeburst: watch Write Grouping eat a write-intensive kernel.
+//
+// memset is the paper's best case — a pure WW stream where consecutive
+// stores land in the same cache set three times out of four (8-byte stores,
+// 32-byte blocks). saxpy is the Read-Bypassing case: an in-place
+// read-modify-write sweep where every read chases the write that just
+// buffered its set. This example traces both kernels on the pinlite VM and
+// replays them under every controller.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cache8t"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	controllers := []string{"conventional", "rmw", "wg", "wgrb"}
+	for _, kernel := range []string{"memset", "saxpy"} {
+		accs, err := cache8t.TraceKernel(kernel, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var writes int
+		for _, a := range accs {
+			if a.Kind == cache8t.Write {
+				writes++
+			}
+		}
+		fmt.Printf("kernel %s: %d accesses (%d writes)\n", kernel, len(accs), writes)
+
+		var baseline cache8t.Result
+		for _, ctrl := range controllers {
+			cfg := cache8t.DefaultConfig()
+			cfg.Controller = ctrl
+			res, err := cache8t.Replay(cfg, accs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ctrl == "rmw" {
+				baseline = res
+			}
+			line := fmt.Sprintf("  %-13s %6d array accesses", res.Controller, res.ArrayAccesses())
+			if ctrl == "wg" || ctrl == "wgrb" {
+				line += fmt.Sprintf("  (%.1f%% below RMW; %d grouped, %d bypassed)",
+					res.ReductionVs(baseline)*100, res.GroupedWrites, res.BypassedReads)
+			}
+			fmt.Println(line)
+		}
+		fmt.Println(strings.Repeat("-", 72))
+	}
+
+	fmt.Println("\nmemset shows the grouping bound: 4 stores per 32B block collapse to")
+	fmt.Println("one row read + one row write; saxpy shows bypassing: the interleaved")
+	fmt.Println("reads that would force premature write-backs under WG are served from")
+	fmt.Println("the Set-Buffer under WG+RB.")
+}

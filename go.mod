@@ -1,0 +1,3 @@
+module cache8t
+
+go 1.22

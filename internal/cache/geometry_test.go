@@ -1,0 +1,101 @@
+package cache
+
+import "testing"
+
+func TestNewGeometryBaseline(t *testing.T) {
+	g, err := NewGeometry(64*1024, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sets != 512 {
+		t.Errorf("Sets = %d, want 512", g.Sets)
+	}
+	if g.SetBytes() != 128 {
+		t.Errorf("SetBytes = %d, want 128 (paper §5.4)", g.SetBytes())
+	}
+}
+
+func TestNewGeometryRejectsBadShapes(t *testing.T) {
+	cases := []struct{ size, ways, block int }{
+		{1000, 4, 32},      // size not pow2
+		{1024, 3, 32},      // ways not pow2
+		{1024, 4, 24},      // block not pow2
+		{1024, 4, 4},       // block too small
+		{64, 4, 32},        // size < one set
+		{0, 4, 32},         // zero size
+		{64 * 1024, 0, 32}, // zero ways
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c.size, c.ways, c.block); err == nil {
+			t.Errorf("NewGeometry(%d,%d,%d) accepted", c.size, c.ways, c.block)
+		}
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry did not panic")
+		}
+	}()
+	MustGeometry(1000, 4, 32)
+}
+
+func TestAddressDecomposition(t *testing.T) {
+	g := MustGeometry(64*1024, 4, 32)
+	addr := uint64(0x12345678)
+	// 32 B blocks -> 5 offset bits; 512 sets -> 9 index bits.
+	if got := g.BlockOffset(addr); got != int(addr&31) {
+		t.Errorf("BlockOffset = %d", got)
+	}
+	if got := g.SetIndex(addr); got != int((addr>>5)&511) {
+		t.Errorf("SetIndex = %d", got)
+	}
+	if got := g.Tag(addr); got != addr>>14 {
+		t.Errorf("Tag = %#x", got)
+	}
+	if got := g.BlockBase(addr); got != addr&^uint64(31) {
+		t.Errorf("BlockBase = %#x", got)
+	}
+}
+
+func TestDecompositionRecomposition(t *testing.T) {
+	g := MustGeometry(32*1024, 8, 64)
+	for _, addr := range []uint64{0, 63, 64, 0xdeadbeef, 1 << 47} {
+		rebuilt := (g.Tag(addr)<<log2(g.Sets)|uint64(g.SetIndex(addr)))<<g.blockShift + uint64(g.BlockOffset(addr))
+		if rebuilt != addr {
+			t.Errorf("addr %#x decomposes to %#x", addr, rebuilt)
+		}
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	g := MustGeometry(64*1024, 4, 32)
+	// 48-bit PA - 5 offset - 9 index = 34 tag bits.
+	if got := g.TagBits(48); got != 34 {
+		t.Errorf("TagBits(48) = %d, want 34", got)
+	}
+	if got := g.TagBits(10); got != 0 {
+		t.Errorf("TagBits(10) = %d, want 0 (clamped)", got)
+	}
+}
+
+func TestTagBufferBitsUnder150(t *testing.T) {
+	// Paper §5.4: Tag-Buffer "less than 150 bits assuming 48 bits physical
+	// address" for the 64 KB baseline.
+	g := MustGeometry(64*1024, 4, 32)
+	bits := g.TagBufferBits(48)
+	if bits >= 150 {
+		t.Errorf("TagBufferBits = %d, want < 150", bits)
+	}
+	if bits < 100 {
+		t.Errorf("TagBufferBits = %d suspiciously small", bits)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	g := MustGeometry(64*1024, 4, 32)
+	if got := g.String(); got != "64KB/4way/32B (512 sets)" {
+		t.Errorf("String = %q", got)
+	}
+}

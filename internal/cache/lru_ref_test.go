@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"testing"
+
+	"cache8t/internal/mem"
+	"cache8t/internal/rng"
+)
+
+// refLRU is an independent, obviously-correct LRU set model: a slice of
+// tags ordered most-recent-first, used to cross-check the cache's victim
+// choices hit-for-hit and miss-for-miss.
+type refLRU struct {
+	ways int
+	tags []uint64
+}
+
+func (r *refLRU) access(tag uint64) (hit bool, evicted uint64, didEvict bool) {
+	for i, tg := range r.tags {
+		if tg == tag {
+			copy(r.tags[1:i+1], r.tags[:i])
+			r.tags[0] = tag
+			return true, 0, false
+		}
+	}
+	if len(r.tags) == r.ways {
+		evicted = r.tags[len(r.tags)-1]
+		didEvict = true
+		r.tags = r.tags[:len(r.tags)-1]
+	}
+	r.tags = append([]uint64{tag}, r.tags...)
+	return false, evicted, didEvict
+}
+
+func TestLRUAgainstReferenceModel(t *testing.T) {
+	cfg := Config{SizeBytes: 2048, Ways: 4, BlockBytes: 32, Policy: LRU}
+	c, err := New(cfg, mem.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Geometry()
+	refs := make([]*refLRU, g.Sets)
+	for i := range refs {
+		refs[i] = &refLRU{ways: g.Ways}
+	}
+	r := rng.New(31)
+	for step := 0; step < 50000; step++ {
+		// Confined tag space per set so hits are common.
+		set := r.Intn(g.Sets)
+		tag := uint64(r.Intn(7))
+		addr := (tag<<uint(log2(g.Sets))|uint64(set))<<g.blockShift + uint64(r.Intn(g.BlockBytes/8)*8)
+		_, _, hit := c.Ensure(addr, r.Bool(0.3))
+		refHit, _, _ := refs[set].access(tag)
+		if hit != refHit {
+			t.Fatalf("step %d: cache hit=%v, reference hit=%v (set %d tag %d)",
+				step, hit, refHit, set, tag)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"fmt"
+
+	"cache8t/internal/rng"
+)
+
+// PolicyKind selects a replacement policy.
+type PolicyKind uint8
+
+const (
+	// LRU evicts the least recently used way (the paper's policy, §5.1).
+	LRU PolicyKind = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+	// Random evicts a uniformly random way.
+	Random
+	// TreePLRU is the tree pseudo-LRU approximation common in hardware.
+	TreePLRU
+)
+
+// String names the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	case TreePLRU:
+		return "TreePLRU"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", uint8(k))
+	}
+}
+
+// ParsePolicy converts a name (as used on CLI flags) to a PolicyKind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	switch name {
+	case "lru", "LRU":
+		return LRU, nil
+	case "fifo", "FIFO":
+		return FIFO, nil
+	case "random", "Random":
+		return Random, nil
+	case "plru", "PLRU", "treeplru", "TreePLRU":
+		return TreePLRU, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown replacement policy %q", name)
+	}
+}
+
+// policy tracks replacement state for one set.
+type policy interface {
+	// Touch records a hit on way.
+	Touch(way int)
+	// Insert records a fill into way.
+	Insert(way int)
+	// Victim picks the way to evict.
+	Victim() int
+}
+
+func newPolicy(kind PolicyKind, ways int, r *rng.Xoshiro256) policy {
+	switch kind {
+	case LRU:
+		return newLRUState(ways)
+	case FIFO:
+		return newFIFOState(ways)
+	case Random:
+		return &randomState{ways: ways, r: r}
+	case TreePLRU:
+		return newPLRUState(ways)
+	default:
+		panic("cache: invalid policy kind")
+	}
+}
+
+// lruState keeps ways ordered from most- to least-recently used.
+type lruState struct {
+	order []int // order[0] is MRU
+}
+
+func newLRUState(ways int) *lruState {
+	s := &lruState{order: make([]int, ways)}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	return s
+}
+
+func (s *lruState) moveToFront(way int) {
+	for i, w := range s.order {
+		if w == way {
+			copy(s.order[1:i+1], s.order[:i])
+			s.order[0] = way
+			return
+		}
+	}
+}
+
+func (s *lruState) Touch(way int)  { s.moveToFront(way) }
+func (s *lruState) Insert(way int) { s.moveToFront(way) }
+func (s *lruState) Victim() int    { return s.order[len(s.order)-1] }
+
+// fifoState evicts in fill order; hits do not refresh position.
+type fifoState struct {
+	queue []int
+}
+
+func newFIFOState(ways int) *fifoState {
+	s := &fifoState{queue: make([]int, ways)}
+	for i := range s.queue {
+		s.queue[i] = i
+	}
+	return s
+}
+
+func (s *fifoState) Touch(int) {}
+
+func (s *fifoState) Insert(way int) {
+	for i, w := range s.queue {
+		if w == way {
+			copy(s.queue[i:], s.queue[i+1:])
+			s.queue[len(s.queue)-1] = way
+			return
+		}
+	}
+}
+
+func (s *fifoState) Victim() int { return s.queue[0] }
+
+type randomState struct {
+	ways int
+	r    *rng.Xoshiro256
+}
+
+func (s *randomState) Touch(int)   {}
+func (s *randomState) Insert(int)  {}
+func (s *randomState) Victim() int { return s.r.Intn(s.ways) }
+
+// plruState is a binary-tree pseudo-LRU: one bit per internal node pointing
+// toward the colder half. Requires power-of-two ways (guaranteed by Geometry).
+type plruState struct {
+	bits []bool // heap-ordered internal nodes; len = ways-1
+	ways int
+}
+
+func newPLRUState(ways int) *plruState {
+	return &plruState{bits: make([]bool, ways-1), ways: ways}
+}
+
+// Touch flips the path bits away from way so the tree points elsewhere.
+func (s *plruState) Touch(way int) {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			s.bits[node] = true // point at the right (cold) half
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.bits[node] = false
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (s *plruState) Insert(way int) { s.Touch(way) }
+
+// Victim follows the cold pointers to a leaf. A true bit means "the cold
+// half is the right one" (set by Touch on a left-half hit), so Victim
+// descends right on true and left on false.
+func (s *plruState) Victim() int {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.bits[node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}

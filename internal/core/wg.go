@@ -1,0 +1,312 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/sram"
+	"cache8t/internal/trace"
+)
+
+// setBuffer is one Set-Buffer entry: a copy of one whole cache set row (all
+// ways, data and metadata) plus the Tag-Buffer bookkeeping the controller
+// keeps for it (Figure 6b): the set number, the per-way tags (implicit in the
+// line copies), and the Dirty bit.
+type setBuffer struct {
+	valid bool
+	set   int
+	lines []cache.Line
+	dirty bool
+	// writes counts stores merged into this buffer residency — the size of
+	// the write group, recorded into the group-size histogram at eviction.
+	writes uint64
+}
+
+// wgController implements Write Grouping (§4.1, Algorithm 1) and, with
+// bypass set, Write Grouping + Read Bypassing (§4.2).
+//
+// Invariant maintained throughout: while a set is buffered, its structure in
+// the cache (tags, valid bits) cannot change. Any request that would fill or
+// evict within a buffered set first writes the buffer back and invalidates
+// it. The paper's single-entry buffer generalizes to BufferDepth entries
+// (ablation A2) kept in MRU order.
+type wgController struct {
+	base
+	buffers []setBuffer
+	bypass  bool
+}
+
+func newWGController(b base) (*wgController, error) {
+	depth := b.opts.BufferDepth
+	if depth == 0 {
+		depth = 1
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("core: negative Set-Buffer depth %d", depth)
+	}
+	return &wgController{
+		base:    b,
+		buffers: make([]setBuffer, depth),
+		bypass:  b.kind == WGRB,
+	}, nil
+}
+
+// findBuffer returns the index of the buffer holding set, or -1.
+func (c *wgController) findBuffer(set int) int {
+	for i := range c.buffers {
+		if c.buffers[i].valid && c.buffers[i].set == set {
+			return i
+		}
+	}
+	return -1
+}
+
+// tagHit reports whether tag is resident in the buffered set.
+func (c *wgController) tagHit(sb *setBuffer, tag uint64) bool {
+	for w := range sb.lines {
+		if sb.lines[w].Valid && sb.lines[w].Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// wayOf returns the way of tag within the buffered set; -1 if absent.
+func (c *wgController) wayOf(sb *setBuffer, tag uint64) int {
+	for w := range sb.lines {
+		if sb.lines[w].Valid && sb.lines[w].Tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touchMRU moves buffer i to the front of the MRU order.
+func (c *wgController) touchMRU(i int) {
+	if i == 0 {
+		return
+	}
+	sb := c.buffers[i]
+	copy(c.buffers[1:i+1], c.buffers[:i])
+	c.buffers[0] = sb
+}
+
+// writeback performs the Set-Buffer write-back for buffer i if its Dirty bit
+// is set: the buffered row is restored into the array with one row write
+// (the write drivers already hold the full row, so no read phase is needed).
+// A clear Dirty bit eliminates the write-back entirely — the silent-store
+// optimization. The buffer stays valid either way; the caller decides
+// whether to also invalidate.
+func (c *wgController) writeback(i int, premature bool) {
+	sb := &c.buffers[i]
+	if !sb.valid {
+		return
+	}
+	if !sb.dirty {
+		c.counters.SilentElidedWBs++
+		return
+	}
+	c.cache.RestoreSet(sb.set, sb.lines)
+	c.array.RMWWritePhase()
+	c.counters.BufferWritebacks++
+	if premature {
+		c.counters.PrematureWBs++
+	}
+	sb.dirty = false
+}
+
+// flush writes buffer i back and invalidates it, closing its write group.
+func (c *wgController) flush(i int) {
+	c.writeback(i, false)
+	sb := &c.buffers[i]
+	if sb.valid && sb.writes > 0 {
+		c.counters.recordGroup(sb.writes)
+	}
+	sb.valid = false
+	sb.writes = 0
+}
+
+// probeTagBuffer performs the Tag-Buffer lookup every request starts with,
+// recording comparator activity (one compare per buffer entry).
+func (c *wgController) probeTagBuffer(set int, tag uint64) (idx int, hit bool) {
+	c.counters.TagProbes++
+	c.array.Record(sram.EvTagCompare, uint64(len(c.buffers)))
+	idx = c.findBuffer(set)
+	if idx >= 0 && c.tagHit(&c.buffers[idx], tag) {
+		c.counters.TagHits++
+		return idx, true
+	}
+	return idx, false
+}
+
+// Access processes one request per Algorithm 1 (WG) or §4.2 (WG+RB).
+func (c *wgController) Access(a trace.Access) uint64 {
+	c.note(a)
+	g := c.cache.Geometry()
+	if g.BlockOffset(a.Addr)+int(a.Size) > g.BlockBytes {
+		return c.straddleFallback(a)
+	}
+	set := g.SetIndex(a.Addr)
+	tag := g.Tag(a.Addr)
+	if a.Kind == trace.Read {
+		return c.read(a, set, tag)
+	}
+	return c.write(a, set, tag)
+}
+
+func (c *wgController) read(a trace.Access, set int, tag uint64) uint64 {
+	idx, hit := c.probeTagBuffer(set, tag)
+	if hit {
+		sb := &c.buffers[idx]
+		if c.bypass {
+			// WG+RB: the RB mux routes data straight from the Set-Buffer;
+			// no premature write-back, no array read.
+			c.counters.BypassedReads++
+			c.array.Record(sram.EvSetBufRead, 1)
+			c.cache.Ensure(a.Addr, false) // functional hit + LRU touch
+			way := c.wayOf(sb, tag)
+			val := lineReadWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size)
+			c.touchMRU(idx)
+			return val
+		}
+		// WG: the cache must be updated before the array read so the read
+		// returns the freshest value (Algorithm 1: "Write-back the
+		// Set-Buffer if the Dirty is set ... Read from SRAM arrays").
+		c.writeback(idx, true)
+		c.touchMRU(idx)
+	} else if idx >= 0 {
+		// The buffered set is being read with an unbuffered tag. If that
+		// read misses in the cache it will evict within the buffered set,
+		// so the buffer must be flushed first to keep its snapshot honest.
+		if _, _, resident := c.cache.Probe(a.Addr); !resident {
+			c.flush(idx)
+		}
+	}
+	rs, rw, _ := c.cache.Ensure(a.Addr, false)
+	c.array.ReadAccess()
+	return c.cache.ReadWord(rs, rw, a.Addr, a.Size)
+}
+
+func (c *wgController) write(a trace.Access, set int, tag uint64) uint64 {
+	idx, hit := c.probeTagBuffer(set, tag)
+	if !hit {
+		// Under no-write-allocate a non-resident write bypasses the array
+		// (and therefore the Set-Buffer). The tag probe above has already
+		// established it is not buffered.
+		if v, ok := c.writeAround(a); ok {
+			return v
+		}
+		if idx >= 0 {
+			// Same set, tag not resident: the allocate below would change
+			// the buffered set's structure. Flush first.
+			c.flush(idx)
+		}
+		idx = c.allocateBuffer(a)
+	} else {
+		// The whole point: this write joins the buffered group without any
+		// array access.
+		c.counters.GroupedWrites++
+		c.cache.Ensure(a.Addr, true) // functional hit + LRU touch
+	}
+	sb := &c.buffers[idx]
+	sb.writes++
+	way := c.wayOf(sb, tag)
+	silent := lineWriteWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size, a.Data)
+	c.array.Record(sram.EvSilentCompare, 1)
+	if silent {
+		c.counters.SilentWrites++
+	}
+	if !silent {
+		sb.lines[way].Dirty = true
+		sb.dirty = true
+	} else if c.opts.DisableSilentElision {
+		// A1 ablation: the controller has no comparators; every write
+		// makes the buffer dirty.
+		sb.dirty = true
+	}
+	// Read the stored value before touchMRU shuffles the buffer slots out
+	// from under the sb pointer.
+	val := lineReadWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size)
+	c.touchMRU(idx)
+	return val
+}
+
+// allocateBuffer evicts the LRU Set-Buffer entry (writing it back if dirty),
+// establishes residency of a's block, and fills the entry with one row read.
+// Returns the entry index (always the MRU-front after touch by caller).
+func (c *wgController) allocateBuffer(a trace.Access) int {
+	victim := -1
+	for i := range c.buffers {
+		if !c.buffers[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = len(c.buffers) - 1
+		c.flush(victim)
+	}
+	set, _, _ := c.cache.Ensure(a.Addr, true)
+	c.array.RMWReadPhase() // "Fill the Set-Buffer by read row"
+	c.counters.BufferFills++
+	c.buffers[victim] = setBuffer{
+		valid: true,
+		set:   set,
+		lines: c.cache.SnapshotSet(set),
+	}
+	return victim
+}
+
+// straddleFallback handles the rare block-boundary-crossing access: flush
+// everything and fall back to baseline RMW behaviour for this one request.
+func (c *wgController) straddleFallback(a trace.Access) uint64 {
+	for i := range c.buffers {
+		c.flush(i)
+	}
+	if a.Kind == trace.Write {
+		if v, ok := c.writeAround(a); ok {
+			return v
+		}
+	}
+	set, way, _ := c.cache.Ensure(a.Addr, a.Kind == trace.Write)
+	if a.Kind == trace.Read {
+		c.array.ReadAccess()
+		return c.cache.ReadWord(set, way, a.Addr, a.Size)
+	}
+	c.array.RMW()
+	c.cache.WriteWord(set, way, a.Addr, a.Size, a.Data)
+	return c.cache.ReadWord(set, way, a.Addr, a.Size)
+}
+
+// Finalize drains every Set-Buffer entry and returns the run result.
+func (c *wgController) Finalize() Result {
+	for i := range c.buffers {
+		c.flush(i)
+	}
+	return c.finalize(false)
+}
+
+// lineReadWord reads size bytes at addr from a buffered line copy.
+func lineReadWord(l *cache.Line, g cache.Geometry, addr uint64, size uint8) uint64 {
+	off := g.BlockOffset(addr)
+	var buf [8]byte
+	copy(buf[:size], l.Data[off:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// lineWriteWord writes size bytes at addr into a buffered line copy and
+// reports whether the write was silent.
+func lineWriteWord(l *cache.Line, g cache.Geometry, addr uint64, size uint8, data uint64) (silent bool) {
+	off := g.BlockOffset(addr)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], data)
+	changed := false
+	for i := 0; i < int(size); i++ {
+		if l.Data[off+i] != buf[i] {
+			changed = true
+			l.Data[off+i] = buf[i]
+		}
+	}
+	return !changed
+}

@@ -1,0 +1,85 @@
+// Package energy aggregates a run's circuit-event ledger into joules and
+// watts, and sweeps DVFS operating points — quantifying the paper's §5.5
+// power commentary and the §1 motivation (8T cells unlock low-voltage
+// levels that 6T caches cannot reach).
+package energy
+
+import (
+	"fmt"
+
+	"cache8t/internal/core"
+	"cache8t/internal/sram"
+	"cache8t/internal/timing"
+)
+
+// Report is the energy accounting of one run at one operating point.
+type Report struct {
+	Point sram.OperatingPoint
+
+	// DynamicJ is switched energy over the whole run.
+	DynamicJ float64
+	// LeakageJ is static energy over the run's modeled wall time.
+	LeakageJ float64
+	// Seconds is the modeled wall time (cycles / frequency).
+	Seconds float64
+}
+
+// TotalJ returns dynamic + leakage energy.
+func (r Report) TotalJ() float64 { return r.DynamicJ + r.LeakageJ }
+
+// PerAccessJ returns total energy per demand access.
+func PerAccessJ(r Report, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return r.TotalJ() / float64(accesses)
+}
+
+// Evaluate prices res at the given operating point. The energy model is
+// rebuilt at the point's voltage; wall time comes from the timing model at
+// the point's frequency.
+func Evaluate(res core.Result, point sram.OperatingPoint, tp timing.Params) (Report, error) {
+	if point.VoltageV <= 0 || point.FreqMHz <= 0 {
+		return Report{}, fmt.Errorf("energy: invalid operating point %v", point)
+	}
+	em, err := sram.NewEnergyModel(res.Events.Config(), point.VoltageV)
+	if err != nil {
+		return Report{}, err
+	}
+	trep, err := timing.Evaluate(res, tp)
+	if err != nil {
+		return Report{}, err
+	}
+	seconds := trep.Cycles / (point.FreqMHz * 1e6)
+	return Report{
+		Point:    point,
+		DynamicJ: em.DynamicEnergy(res.Events),
+		LeakageJ: em.LeakagePower() * seconds,
+		Seconds:  seconds,
+	}, nil
+}
+
+// SweepPoint is one row of a DVFS sweep.
+type SweepPoint struct {
+	Point     sram.OperatingPoint
+	Report    Report
+	Reachable bool // false when the point is below the cell's Vmin
+}
+
+// Sweep prices res across a DVFS table for a cache built from cell,
+// marking unreachable points (below the cell's Vmin) — the 6T wall.
+func Sweep(res core.Result, cell sram.CellKind, points []sram.OperatingPoint, tp timing.Params) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(points))
+	for _, pt := range points {
+		sp := SweepPoint{Point: pt, Reachable: pt.VoltageV >= cell.VminVolts()}
+		if sp.Reachable {
+			rep, err := Evaluate(res, pt, tp)
+			if err != nil {
+				return nil, err
+			}
+			sp.Report = rep
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"fmt"
+
+	"cache8t/internal/sram"
+)
+
+// DVFS governor simulation, quantifying the paper's §1 framing: "DVFS
+// switches between predefined voltage levels dynamically according to the
+// required performance and power demand. The more the number of voltage
+// levels the higher the chances of operating at the optimal voltage and
+// frequency level. Among the different levels, the minimum voltage level
+// (Vmin) assuring correct operation limits the lowest operating voltage" —
+// and the cache's cell type decides that Vmin.
+
+// Epoch is one scheduling interval of a demand trace.
+type Epoch struct {
+	// DemandFrac is the performance the workload needs this epoch, as a
+	// fraction of nominal frequency (0..1].
+	DemandFrac float64
+	// Ops is the number of cache operations the epoch performs.
+	Ops uint64
+}
+
+// GovernorResult aggregates a governed run.
+type GovernorResult struct {
+	// EnergyJ is total cache energy across all epochs.
+	EnergyJ float64
+	// MeanVoltage is the ops-weighted average operating voltage.
+	MeanVoltage float64
+	// FloorEpochs counts epochs whose demand could have used a lower level
+	// than the cell's Vmin allowed — energy left on the table.
+	FloorEpochs int
+}
+
+// Govern runs a demand trace against a DVFS table restricted to levels the
+// cell can reach. Each epoch runs at the lowest reachable level whose
+// frequency meets demand (or the highest level if none does). Energy per op
+// scales as V^2 from its nominal value; leakage power scales with V^2 and
+// accrues over the epoch's wall time at the chosen frequency.
+func Govern(epochs []Epoch, levels []sram.OperatingPoint, cell sram.CellKind,
+	opEnergyNominalJ, leakageNominalW float64) (GovernorResult, error) {
+	if len(levels) == 0 {
+		return GovernorResult{}, fmt.Errorf("energy: empty DVFS table")
+	}
+	nominal := levels[0]
+	if nominal.VoltageV <= 0 || nominal.FreqMHz <= 0 {
+		return GovernorResult{}, fmt.Errorf("energy: bad nominal level %v", nominal)
+	}
+	// Reachable levels for this cell, preserving descending order.
+	reach := make([]sram.OperatingPoint, 0, len(levels))
+	for _, l := range levels {
+		if l.VoltageV >= cell.VminVolts() {
+			reach = append(reach, l)
+		}
+	}
+	if len(reach) == 0 {
+		return GovernorResult{}, fmt.Errorf("energy: no level reachable above %v Vmin %.2f",
+			cell, cell.VminVolts())
+	}
+	var out GovernorResult
+	var totalOps uint64
+	var voltOps float64
+	for _, e := range epochs {
+		if e.DemandFrac <= 0 || e.DemandFrac > 1 {
+			return GovernorResult{}, fmt.Errorf("energy: demand %v out of (0,1]", e.DemandFrac)
+		}
+		needMHz := e.DemandFrac * nominal.FreqMHz
+		// Lowest reachable level meeting demand: scan from the bottom.
+		chosen := reach[0]
+		for i := len(reach) - 1; i >= 0; i-- {
+			if reach[i].FreqMHz >= needMHz {
+				chosen = reach[i]
+				break
+			}
+		}
+		// Was a lower level desirable but walled off by Vmin? (Only
+		// meaningful when the full table had something below.)
+		if chosen.VoltageV == reach[len(reach)-1].VoltageV &&
+			levels[len(levels)-1].VoltageV < reach[len(reach)-1].VoltageV &&
+			chosen.FreqMHz > needMHz {
+			out.FloorEpochs++
+		}
+		scale := chosen.VoltageV / nominal.VoltageV
+		dyn := float64(e.Ops) * opEnergyNominalJ * scale * scale
+		seconds := float64(e.Ops) / (chosen.FreqMHz * 1e6)
+		leak := leakageNominalW * scale * scale * seconds
+		out.EnergyJ += dyn + leak
+		voltOps += chosen.VoltageV * float64(e.Ops)
+		totalOps += e.Ops
+	}
+	if totalOps > 0 {
+		out.MeanVoltage = voltOps / float64(totalOps)
+	}
+	return out, nil
+}

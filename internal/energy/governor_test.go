@@ -1,0 +1,132 @@
+package energy
+
+import (
+	"testing"
+
+	"cache8t/internal/sram"
+)
+
+func govLevels(t *testing.T) []sram.OperatingPoint {
+	t.Helper()
+	ap := sram.DefaultAlphaPower()
+	levels, err := ap.Levels(0.36, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return levels
+}
+
+func lowDemandTrace() []Epoch {
+	// A bursty phone-like demand trace: mostly idle-ish with bursts.
+	var out []Epoch
+	for i := 0; i < 50; i++ {
+		d := 0.15
+		if i%10 == 0 {
+			d = 0.9
+		}
+		out = append(out, Epoch{DemandFrac: d, Ops: 100_000})
+	}
+	return out
+}
+
+func TestGovernValidation(t *testing.T) {
+	levels := govLevels(t)
+	if _, err := Govern(nil, nil, sram.EightT, 1e-12, 1e-3); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := Govern([]Epoch{{DemandFrac: 2, Ops: 1}}, levels, sram.EightT, 1e-12, 1e-3); err == nil {
+		t.Error("demand > 1 accepted")
+	}
+	if _, err := Govern([]Epoch{{DemandFrac: 0, Ops: 1}}, levels, sram.EightT, 1e-12, 1e-3); err == nil {
+		t.Error("zero demand accepted")
+	}
+}
+
+func TestGovernEightTBeatsSixTOnLowDemand(t *testing.T) {
+	// The paper's §1 story: the 6T cache's Vmin walls off the low levels,
+	// so at low demand the 6T system runs hotter than it needs to.
+	levels := govLevels(t)
+	const opE, leakW = 1e-11, 1e-3
+	six, err := Govern(lowDemandTrace(), levels, sram.SixT, opE, leakW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Govern(lowDemandTrace(), levels, sram.EightT, opE, leakW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.EnergyJ >= six.EnergyJ {
+		t.Errorf("8T energy %.3e not below 6T %.3e", eight.EnergyJ, six.EnergyJ)
+	}
+	if eight.MeanVoltage >= six.MeanVoltage {
+		t.Errorf("8T mean voltage %.3f not below 6T %.3f", eight.MeanVoltage, six.MeanVoltage)
+	}
+	if six.FloorEpochs == 0 {
+		t.Error("6T never hit its voltage floor on a low-demand trace")
+	}
+	if eight.FloorEpochs >= six.FloorEpochs {
+		t.Errorf("8T floor epochs %d not below 6T %d", eight.FloorEpochs, six.FloorEpochs)
+	}
+}
+
+func TestGovernHighDemandEqualizesCells(t *testing.T) {
+	// At sustained full demand the governor sits at nominal for both cells
+	// and the Vmin advantage vanishes.
+	levels := govLevels(t)
+	trace := []Epoch{{DemandFrac: 1.0, Ops: 1_000_000}}
+	six, err := Govern(trace, levels, sram.SixT, 1e-11, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Govern(trace, levels, sram.EightT, 1e-11, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.EnergyJ != eight.EnergyJ {
+		t.Errorf("full-demand energies differ: 6T %.3e, 8T %.3e", six.EnergyJ, eight.EnergyJ)
+	}
+	if six.MeanVoltage != eight.MeanVoltage {
+		t.Error("full-demand voltages differ")
+	}
+}
+
+func TestGovernMoreLevelsNeverHurt(t *testing.T) {
+	// §1: more levels -> closer to the optimal point. Energy with a
+	// 16-level table must be <= energy with a 4-level table (same range).
+	ap := sram.DefaultAlphaPower()
+	coarse, err := ap.Levels(0.36, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := ap.Levels(0.36, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Govern(lowDemandTrace(), coarse, sram.EightT, 1e-11, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Govern(lowDemandTrace(), fine, sram.EightT, 1e-11, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EnergyJ > c.EnergyJ {
+		t.Errorf("16 levels (%.3e J) worse than 4 levels (%.3e J)", f.EnergyJ, c.EnergyJ)
+	}
+}
+
+func TestGovernUnreachableCell(t *testing.T) {
+	// A table living entirely below the 6T floor is unusable for 6T.
+	ap := sram.DefaultAlphaPower()
+	all, err := ap.Levels(0.40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := all[len(all)-2:] // bottom two levels, below 0.7V
+	if _, err := Govern(lowDemandTrace(), low, sram.SixT, 1e-11, 1e-3); err == nil {
+		t.Error("6T accepted a sub-Vmin-only table")
+	}
+	if _, err := Govern(lowDemandTrace(), low, sram.EightT, 1e-11, 1e-3); err != nil {
+		t.Errorf("8T rejected reachable levels: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestAllocExperiment(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 40_000
+	tab, err := Alloc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("alloc table has %d rows", len(tab.Rows))
+	}
+	allocRMW := cell(t, tab, "write-allocate (paper)", 1)
+	noAllocRMW := cell(t, tab, "no-write-allocate", 1)
+	if noAllocRMW >= allocRMW {
+		t.Errorf("no-allocate RMW traffic %.3f not below allocate %.3f", noAllocRMW, allocRMW)
+	}
+	for _, r := range tab.Rows {
+		red := parsePct(t, r[3])
+		if red <= 0.1 {
+			t.Errorf("%s: WG+RB reduction %.3f suspiciously small", r[0], red)
+		}
+	}
+}

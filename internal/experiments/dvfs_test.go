@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestDVFSExperiment(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 40_000
+	tab, err := DVFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("dvfs table has %d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		saving := parsePct(t, r[3])
+		if saving <= 0.1 {
+			t.Errorf("%s: 8T saving %.3f suspiciously small on a low-demand trace", r[0], saving)
+		}
+	}
+	// The RMW row's absolute energies must exceed WG+RB's on both cells
+	// (fewer array ops per request under WG+RB).
+	for col := 1; col <= 2; col++ {
+		rmw := cell(t, tab, "RMW", col)
+		wgrb := cell(t, tab, "WG+RB", col)
+		if rmw <= wgrb {
+			t.Errorf("column %d: RMW energy %.4f not above WG+RB %.4f", col, rmw, wgrb)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestECCExperiment(t *testing.T) {
+	tab, err := ECC(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("ecc table has %d rows", len(tab.Rows))
+	}
+	// Interleave k absorbs a k-bit burst; every fault injection recovers.
+	want := map[string]string{"1": "1 bits", "2": "2 bits", "4": "4 bits", "8": "8 bits"}
+	for il, burst := range want {
+		r := row(t, tab, il)
+		if r[1] != burst {
+			t.Errorf("interleave %s: analytic burst %q, want %q", il, r[1], burst)
+		}
+		if r[2] != "all words recovered" {
+			t.Errorf("interleave %s: fault injection %q", il, r[2])
+		}
+	}
+	// The §2 tension: only the non-interleaved organization avoids RMW.
+	if row(t, tab, "1")[3] != "false" {
+		t.Error("non-interleaved array should not need RMW")
+	}
+	if row(t, tab, "4")[3] != "true" {
+		t.Error("interleaved 8T array must need RMW")
+	}
+}

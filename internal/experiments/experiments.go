@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (plus the ablations DESIGN.md calls out). Each experiment is a
+// named runner producing a stats.Table whose rows are benchmarks and whose
+// final rows carry the measured mean next to the paper's reported value, so
+// paper-vs-measured comparison is part of the output itself.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/stats"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// AccessesPerBench is the stream length simulated per benchmark. The
+	// paper runs 10 B instructions per benchmark; our generators are
+	// stationary, so a few hundred thousand accesses give stable statistics
+	// (DESIGN.md §6).
+	AccessesPerBench int
+	// Seed drives every generator; same seed, same tables.
+	Seed uint64
+	// Cache is the baseline cache shape (§5.1: 64 KB, 4-way, 32 B, LRU).
+	Cache cache.Config
+	// Opts tunes the controllers.
+	Opts core.Options
+}
+
+// Default returns the paper's baseline configuration.
+func Default() Config {
+	return Config{
+		AccessesPerBench: 400_000,
+		Seed:             1,
+		Cache:            cache.DefaultConfig(),
+	}
+}
+
+// geometry returns the configured cache geometry.
+func (c Config) geometry() cache.Geometry {
+	return cache.MustGeometry(c.Cache.SizeBytes, c.Cache.Ways, c.Cache.BlockBytes)
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the CLI handle: "fig3" ... "fig11", "rmw", "area", "perf",
+	// "ablation-silent", "ablation-depth", "ablation-related".
+	ID string
+	// Title describes the artifact and its paper anchor.
+	Title string
+	// Run produces the table.
+	Run func(Config) (*stats.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig3", Title: "Figure 3: read/write access frequency per instruction", Run: Fig3},
+		{ID: "fig4", Title: "Figure 4: consecutive same-set access scenarios", Run: Fig4},
+		{ID: "fig5", Title: "Figure 5: silent write frequency", Run: Fig5},
+		{ID: "rmw", Title: "§1/§5: RMW cache-access inflation over conventional writes", Run: RMWInflation},
+		{ID: "fig8", Title: "Figure 8: worked request-stream example", Run: Fig8},
+		{ID: "fig9", Title: "Figure 9: access reduction, 64KB/4w/32B", Run: Fig9},
+		{ID: "fig10", Title: "Figure 10: access reduction, 32KB/4w/64B blocks", Run: Fig10},
+		{ID: "fig11", Title: "Figure 11: access reduction vs cache size (32KB, 128KB)", Run: Fig11},
+		{ID: "area", Title: "§5.4: area overhead of the Set-Buffer and Tag-Buffer", Run: Area},
+		{ID: "perf", Title: "§5.5 quantified: timing and energy across controllers", Run: PerfPower},
+		{ID: "ports", Title: "E9b: cycle-accurate port simulation vs analytic model", Run: Ports},
+		{ID: "groups", Title: "write-group size distribution under WG", Run: Groups},
+		{ID: "ecc", Title: "§2: bit interleaving vs multi-bit soft errors (SEC-DED)", Run: ECC},
+		{ID: "mix", Title: "multiprogrammed mixes: context switches vs the Set-Buffer", Run: Mix},
+		{ID: "dvfs", Title: "§1 quantified: governed cache energy, 6T wall vs 8T floor", Run: DVFS},
+		{ID: "alloc", Title: "allocation-policy sensitivity (write-allocate vs write-around)", Run: Alloc},
+		{ID: "fills", Title: "counting-convention sensitivity: include miss traffic", Run: Fills},
+		{ID: "ablation-silent", Title: "A1: WG with silent-write elision disabled", Run: AblationSilent},
+		{ID: "ablation-depth", Title: "A2: Set-Buffer depth sweep", Run: AblationDepth},
+		{ID: "ablation-related", Title: "A3: related-work comparison (RMW/LocalRMW/WordGranularity/WG+RB)", Run: AblationRelated},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// benchTrace materializes one benchmark's stream under cfg.
+func benchTrace(cfg Config, prof workload.Profile) ([]trace.Access, error) {
+	return workload.Take(prof, cfg.Seed, cfg.AccessesPerBench)
+}
+
+// forEachBench runs fn over every benchmark profile with its stream.
+func forEachBench(cfg Config, fn func(prof workload.Profile, accs []trace.Access) error) error {
+	for _, prof := range workload.Profiles() {
+		accs, err := benchTrace(cfg, prof)
+		if err != nil {
+			return err
+		}
+		if err := fn(prof, accs); err != nil {
+			return fmt.Errorf("experiments: %s: %w", prof.Name, err)
+		}
+	}
+	return nil
+}
+
+// reductions runs the benchmark stream through RMW, WG, and WG+RB over the
+// given cache shape and returns the two access-frequency reductions.
+func reductions(cfg Config, shape cache.Config, accs []trace.Access) (wg, wgrb float64, err error) {
+	res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, shape, cfg.Opts, accs)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := res[0].ArrayAccesses()
+	return stats.Reduction(res[1].ArrayAccesses(), base),
+		stats.Reduction(res[2].ArrayAccesses(), base), nil
+}

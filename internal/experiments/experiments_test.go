@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cache8t/internal/stats"
+)
+
+// testConfig keeps runtimes modest; statistics are stationary so shapes
+// already hold at this budget.
+func testConfig() Config {
+	cfg := Default()
+	cfg.AccessesPerBench = 60_000
+	return cfg
+}
+
+// parsePct turns "27.3%" into 0.273.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parsePct(%q): %v", s, err)
+	}
+	return v / 100
+}
+
+// row finds the first row whose first cell equals name.
+func row(t *testing.T, tab *stats.Table, name string) []string {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("table %q has no row %q", tab.Title, name)
+	return nil
+}
+
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed: %v", e.ID, err)
+		}
+	}
+	if len(seen) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(seen))
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 benchmarks + measured mean + paper mean.
+	if len(tab.Rows) != 27 {
+		t.Fatalf("Fig3 has %d rows", len(tab.Rows))
+	}
+	mean := row(t, tab, "MEAN (measured)")
+	reads := parsePct(t, mean[1])
+	writes := parsePct(t, mean[2])
+	if reads < 0.22 || reads > 0.30 {
+		t.Errorf("mean reads %.3f outside anchor band around 0.26", reads)
+	}
+	if writes < 0.10 || writes > 0.18 {
+		t.Errorf("mean writes %.3f outside anchor band around 0.14", writes)
+	}
+	bw := row(t, tab, "bwaves")
+	if parsePct(t, bw[2]) < 0.22 {
+		t.Errorf("bwaves writes %.3f, paper says > 22%%", parsePct(t, bw[2]))
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := row(t, tab, "MEAN (measured)")
+	ss := parsePct(t, mean[5])
+	if ss < 0.20 || ss > 0.40 {
+		t.Errorf("mean same-set %.3f outside band around 0.27", ss)
+	}
+	// bwaves carries the largest WW share.
+	bwWW := parsePct(t, row(t, tab, "bwaves")[4])
+	for _, r := range tab.Rows[:25] {
+		if r[0] == "bwaves" {
+			continue
+		}
+		if ww := parsePct(t, r[4]); ww >= bwWW {
+			t.Errorf("%s WW %.3f >= bwaves %.3f", r[0], ww, bwWW)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := parsePct(t, row(t, tab, "MEAN (measured)")[1])
+	if mean < 0.38 || mean > 0.50 {
+		t.Errorf("mean silent %.3f outside band around 0.44", mean)
+	}
+	bw := parsePct(t, row(t, tab, "bwaves")[1])
+	if bw < 0.72 || bw > 0.82 {
+		t.Errorf("bwaves silent %.3f, paper ~0.77", bw)
+	}
+}
+
+func TestRMWInflationShape(t *testing.T) {
+	tab, err := RMWInflation(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := parsePct(t, row(t, tab, "MEAN (measured)")[3])
+	max := parsePct(t, row(t, tab, "MAX (measured)")[3])
+	if mean < 0.25 || mean > 0.40 {
+		t.Errorf("mean inflation %.3f outside band around 0.32", mean)
+	}
+	if max < mean {
+		t.Errorf("max %.3f below mean %.3f", max, mean)
+	}
+	if max < 0.40 || max > 0.55 {
+		t.Errorf("max inflation %.3f, paper 0.47", max)
+	}
+}
+
+func TestFig8Totals(t *testing.T) {
+	tab, err := Fig8(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"Conventional": "9",
+		"RMW":          "13",
+		"WG":           "9",
+		"WG+RB":        "5",
+	}
+	for scheme, total := range want {
+		if got := row(t, tab, scheme)[3]; got != total {
+			t.Errorf("%s total = %s, want %s", scheme, got, total)
+		}
+	}
+}
+
+func meanReductions(t *testing.T, tab *stats.Table, wgCol, rbCol int) (wg, rb float64) {
+	t.Helper()
+	mean := row(t, tab, "MEAN (measured)")
+	return parsePct(t, mean[wgCol]), parsePct(t, mean[rbCol])
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, rb := meanReductions(t, tab, 1, 2)
+	if wg < 0.22 || wg > 0.36 {
+		t.Errorf("mean WG reduction %.3f outside band around paper 0.27", wg)
+	}
+	if rb < 0.28 || rb > 0.43 {
+		t.Errorf("mean WG+RB reduction %.3f outside band around paper 0.33", rb)
+	}
+	if rb <= wg {
+		t.Errorf("WG+RB %.3f not above WG %.3f", rb, wg)
+	}
+	// WG+RB beats WG on every benchmark (paper: "WG+RB outperforms WG in
+	// all benchmarks"), and bwaves is the WG extreme (~47%).
+	bwWG := parsePct(t, row(t, tab, "bwaves")[1])
+	for _, r := range tab.Rows[:25] {
+		rwg, rrb := parsePct(t, r[1]), parsePct(t, r[2])
+		if rrb < rwg {
+			t.Errorf("%s: WG+RB %.3f below WG %.3f", r[0], rrb, rwg)
+		}
+		if r[0] != "bwaves" && rwg >= bwWG {
+			t.Errorf("%s WG %.3f >= bwaves %.3f", r[0], rwg, bwWG)
+		}
+	}
+	if bwWG < 0.42 || bwWG > 0.56 {
+		t.Errorf("bwaves WG reduction %.3f, paper 0.47", bwWG)
+	}
+}
+
+func TestFig10BlockSizeHelps(t *testing.T) {
+	cfg := testConfig()
+	t9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg9, rb9 := meanReductions(t, t9, 1, 2)
+	wg10, rb10 := meanReductions(t, t10, 1, 2)
+	if wg10 <= wg9 {
+		t.Errorf("64B blocks: WG %.3f not above 32B %.3f (paper: 29%% > 27%%)", wg10, wg9)
+	}
+	if rb10 <= rb9 {
+		t.Errorf("64B blocks: WG+RB %.3f not above 32B %.3f (paper: 37%% > 33%%)", rb10, rb9)
+	}
+}
+
+func TestFig11CacheSizeInsensitive(t *testing.T) {
+	tab, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := row(t, tab, "MEAN (measured)")
+	wg32, rb32 := parsePct(t, mean[1]), parsePct(t, mean[2])
+	wg128, rb128 := parsePct(t, mean[3]), parsePct(t, mean[4])
+	if d := wg32 - wg128; d < -0.02 || d > 0.02 {
+		t.Errorf("WG cache-size delta %.4f, paper shows ~0.3 points", d)
+	}
+	if d := rb32 - rb128; d < -0.02 || d > 0.02 {
+		t.Errorf("WG+RB cache-size delta %.4f, paper shows ~0.5 points", d)
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	tab, err := Area(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row(t, tab, "Set-Buffer size")[1]; got != "128 B" {
+		t.Errorf("Set-Buffer size = %s, want 128 B", got)
+	}
+	// The exact ratio is 1024/524288 = 0.195%, which renders as "0.2%".
+	if got := parsePct(t, row(t, tab, "Set-Buffer / cache storage")[1]); got > 0.002 {
+		t.Errorf("storage ratio %.4f, paper < 0.2%%", got)
+	}
+	bits := row(t, tab, "Tag-Buffer size")[1]
+	if !strings.HasSuffix(bits, " bits") {
+		t.Fatalf("Tag-Buffer row = %q", bits)
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(bits, " bits"))
+	if err != nil || n >= 150 || n < 100 {
+		t.Errorf("Tag-Buffer bits = %q, paper < 150", bits)
+	}
+}
+
+func TestPerfPowerOrdering(t *testing.T) {
+	tab, err := PerfPower(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpi := func(name string) float64 {
+		v, err := strconv.ParseFloat(row(t, tab, name)[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	nj := func(name string) float64 {
+		v, err := strconv.ParseFloat(row(t, tab, name)[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(cpi("WG+RB") < cpi("WG") && cpi("WG") < cpi("RMW")) {
+		t.Errorf("CPI ordering violated: RMW %.4f WG %.4f WG+RB %.4f",
+			cpi("RMW"), cpi("WG"), cpi("WG+RB"))
+	}
+	if !(nj("WG+RB") < nj("WG") && nj("WG") < nj("RMW")) {
+		t.Errorf("energy ordering violated: RMW %.4f WG %.4f WG+RB %.4f",
+			nj("RMW"), nj("WG"), nj("WG+RB"))
+	}
+}
+
+func TestAblationSilentContribution(t *testing.T) {
+	tab, err := AblationSilent(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := row(t, tab, "MEAN")
+	on, off := parsePct(t, mean[1]), parsePct(t, mean[2])
+	if on <= off {
+		t.Errorf("silent elision contributes nothing: on %.3f, off %.3f", on, off)
+	}
+}
+
+func TestAblationDepthMonotone(t *testing.T) {
+	tab, err := AblationDepth(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := row(t, tab, "MEAN")
+	prev := -1.0
+	for i := 1; i < len(mean); i++ {
+		v := parsePct(t, mean[i])
+		if v < prev-0.005 { // allow sub-half-point noise
+			t.Errorf("depth sweep not monotone at column %d: %.3f after %.3f", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAblationRelatedRuns(t *testing.T) {
+	tab, err := AblationRelated(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("related-work table has %d rows", len(tab.Rows))
+	}
+	acc := func(name string) float64 {
+		v, err := strconv.ParseFloat(row(t, tab, name)[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Traffic: WordGranularity pays exactly 1 access per request (no RMW);
+	// WG+RB drops below that because bypassed reads and grouped writes cost
+	// zero array accesses; LocalRMW matches RMW on traffic.
+	if !(acc("WG+RB") < acc("WordGranularity") && acc("WordGranularity") < acc("RMW")) {
+		t.Errorf("traffic ordering violated: wgrb %.3f, word %.3f, rmw %.3f",
+			acc("WG+RB"), acc("WordGranularity"), acc("RMW"))
+	}
+	if acc("LocalRMW") != acc("RMW") {
+		t.Errorf("LocalRMW traffic %.3f != RMW %.3f", acc("LocalRMW"), acc("RMW"))
+	}
+	// A4: set-granular grouping beats the block-granular write buffer.
+	if acc("WG") >= acc("Coalesce") {
+		t.Errorf("WG traffic %.3f not below Coalesce %.3f", acc("WG"), acc("Coalesce"))
+	}
+}
+
+func TestAllExperimentsRenderAndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is slow")
+	}
+	cfg := testConfig()
+	cfg.AccessesPerBench = 20_000
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := tab.String()
+			if len(out) == 0 || !strings.Contains(out, tab.Columns[0]) {
+				t.Error("empty render")
+			}
+			var b strings.Builder
+			if err := tab.CSV(&b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

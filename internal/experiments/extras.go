@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cache8t/internal/core"
+	"cache8t/internal/energy"
+	"cache8t/internal/sram"
+	"cache8t/internal/stats"
+	"cache8t/internal/timing"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+// Area reproduces §5.4: the Set-Buffer stores one cache set (128 B on the
+// baseline, < 0.2% of the cache's storage) and the Tag-Buffer is under 150
+// bits at a 48-bit physical address.
+func Area(cfg Config) (*stats.Table, error) {
+	g := cfg.geometry()
+	const paBits = 48
+	setBufBits := g.SetBytes() * 8
+	tagBufBits := g.TagBufferBits(paBits)
+	cacheBits := cfg.Cache.SizeBytes * 8
+	t := stats.NewTable("§5.4 — storage and area overhead of WG/WG+RB ("+g.String()+", 48-bit PA)",
+		"quantity", "value", "paper")
+	t.AddRowf("Set-Buffer size", fmt.Sprintf("%d B", g.SetBytes()), "128 B (one set)")
+	t.AddRowf("Set-Buffer / cache storage",
+		stats.Pct(float64(setBufBits)/float64(cacheBits)), "< 0.2%")
+	t.AddRowf("Tag-Buffer size", fmt.Sprintf("%d bits", tagBufBits), "< 150 bits")
+	for _, node := range []int{65, 45, 32, 22} {
+		rep, err := sram.ComputeArea(sram.EightT, node, cacheBits, setBufBits, tagBufBits)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("total added area @ %dnm (latch-sized)", node),
+			stats.Pct(rep.TotalOverhead()), "not reported")
+	}
+	ratio45, err := sram.AreaRatio(45)
+	if err != nil {
+		return nil, err
+	}
+	ratio22, err := sram.AreaRatio(22)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("8T/6T cell area @45nm", fmt.Sprintf("%.2fx", ratio45), "compact beyond 45nm")
+	t.AddRowf("8T/6T cell area @22nm", fmt.Sprintf("%.2fx", ratio22), "compact beyond 45nm")
+	return t, nil
+}
+
+// PerfPower quantifies §5.5 with the timing and energy models: CPI, average
+// read latency, read-port utilization, and energy per access for each
+// controller, averaged across benchmarks at the nominal operating point.
+func PerfPower(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("§5.5 quantified — timing and energy (mean over benchmarks, 1.0V/2000MHz)",
+		"scheme", "CPI", "avg read latency", "read-port util", "nJ/access")
+	kinds := []core.Kind{core.Conventional, core.RMW, core.LocalRMW, core.WG, core.WGRB}
+	point := sram.OperatingPoint{VoltageV: 1.0, FreqMHz: 2000}
+	tp := timing.DefaultParams()
+	sums := make(map[core.Kind]*[4]float64)
+	for _, k := range kinds {
+		sums[k] = &[4]float64{}
+	}
+	n := 0
+	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		n++
+		for _, k := range kinds {
+			res, err := core.Run(k, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+			if err != nil {
+				return err
+			}
+			trep, err := timing.Evaluate(res, tp)
+			if err != nil {
+				return err
+			}
+			erep, err := energy.Evaluate(res, point, tp)
+			if err != nil {
+				return err
+			}
+			s := sums[k]
+			s[0] += trep.CPI()
+			s[1] += trep.AvgReadLatency
+			s[2] += trep.ReadPortUtilization
+			s[3] += energy.PerAccessJ(erep, res.Requests.Accesses()) * 1e9
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kinds {
+		s := sums[k]
+		t.AddRowf(k.String(),
+			fmt.Sprintf("%.4f", s[0]/float64(n)),
+			fmt.Sprintf("%.3f", s[1]/float64(n)),
+			stats.Pct(s[2]/float64(n)),
+			fmt.Sprintf("%.4f", s[3]/float64(n)))
+	}
+	return t, nil
+}
+
+// AblationSilent isolates the Dirty-bit silent-write optimization (A1):
+// WG with and without elision, mean reduction vs RMW.
+func AblationSilent(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("A1 — contribution of silent-write elision to WG",
+		"benchmark", "WG", "WG (no silent elision)", "delta")
+	var on, off []float64
+	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		base, err := core.Run(core.RMW, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		if err != nil {
+			return err
+		}
+		wgOn, err := core.Run(core.WG, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		if err != nil {
+			return err
+		}
+		noSilent := cfg.Opts
+		noSilent.DisableSilentElision = true
+		wgOff, err := core.Run(core.WG, cfg.Cache, noSilent, trace.FromSlice(accs), 0)
+		if err != nil {
+			return err
+		}
+		rOn := stats.Reduction(wgOn.ArrayAccesses(), base.ArrayAccesses())
+		rOff := stats.Reduction(wgOff.ArrayAccesses(), base.ArrayAccesses())
+		t.AddRowf(prof.Name, stats.Pct(rOn), stats.Pct(rOff), stats.Pct(rOn-rOff))
+		on = append(on, rOn)
+		off = append(off, rOff)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("MEAN", stats.Pct(stats.Mean(on)), stats.Pct(stats.Mean(off)),
+		stats.Pct(stats.Mean(on)-stats.Mean(off)))
+	return t, nil
+}
+
+// AblationDepth sweeps the Set-Buffer entry count (A2): the paper's buffer
+// is a single entry; deeper buffers group write streams that interleave
+// across sets.
+func AblationDepth(cfg Config) (*stats.Table, error) {
+	depths := []int{1, 2, 4, 8}
+	cols := []string{"benchmark"}
+	for _, d := range depths {
+		cols = append(cols, fmt.Sprintf("WG+RB depth %d", d))
+	}
+	t := stats.NewTable("A2 — Set-Buffer depth sweep (reduction vs RMW)", cols...)
+	sums := make([]float64, len(depths))
+	n := 0
+	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		n++
+		base, err := core.Run(core.RMW, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		if err != nil {
+			return err
+		}
+		row := []any{prof.Name}
+		for i, d := range depths {
+			opts := cfg.Opts
+			opts.BufferDepth = d
+			res, err := core.Run(core.WGRB, cfg.Cache, opts, trace.FromSlice(accs), 0)
+			if err != nil {
+				return err
+			}
+			red := stats.Reduction(res.ArrayAccesses(), base.ArrayAccesses())
+			row = append(row, stats.Pct(red))
+			sums[i] += red
+		}
+		t.AddRowf(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mean := []any{"MEAN"}
+	for _, s := range sums {
+		mean = append(mean, stats.Pct(s/float64(n)))
+	}
+	t.AddRowf(mean...)
+	return t, nil
+}
+
+// AblationRelated compares the paper's techniques with the related-work
+// alternatives (§2): Park et al.'s sub-array-local RMW and Chang et al.'s
+// word-granularity non-interleaved organization, on traffic, modeled CPI,
+// and energy.
+func AblationRelated(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("A3 — related-work comparison (mean over benchmarks)",
+		"scheme", "array accesses / request", "CPI", "nJ/access", "caveat")
+	kinds := []core.Kind{core.RMW, core.LocalRMW, core.WordGranularity, core.Coalesce, core.WG, core.WGRB}
+	caveats := map[core.Kind]string{
+		core.RMW:             "baseline",
+		core.LocalRMW:        "sub-array busy during write-back",
+		core.WordGranularity: "needs multi-bit ECC (no interleaving)",
+		core.Coalesce:        "block-granular write buffer (A4)",
+		core.WG:              "paper",
+		core.WGRB:            "paper",
+	}
+	point := sram.OperatingPoint{VoltageV: 1.0, FreqMHz: 2000}
+	tp := timing.DefaultParams()
+	sums := make(map[core.Kind]*[3]float64)
+	for _, k := range kinds {
+		sums[k] = &[3]float64{}
+	}
+	n := 0
+	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		n++
+		for _, k := range kinds {
+			res, err := core.Run(k, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+			if err != nil {
+				return err
+			}
+			trep, err := timing.Evaluate(res, tp)
+			if err != nil {
+				return err
+			}
+			erep, err := energy.Evaluate(res, point, tp)
+			if err != nil {
+				return err
+			}
+			s := sums[k]
+			s[0] += res.AccessesPerRequest()
+			s[1] += trep.CPI()
+			s[2] += energy.PerAccessJ(erep, res.Requests.Accesses()) * 1e9
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kinds {
+		s := sums[k]
+		t.AddRowf(k.String(),
+			fmt.Sprintf("%.3f", s[0]/float64(n)),
+			fmt.Sprintf("%.4f", s[1]/float64(n)),
+			fmt.Sprintf("%.4f", s[2]/float64(n)),
+			caveats[k])
+	}
+	return t, nil
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestFillsExperiment(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 40_000
+	tab, err := Fills(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := row(t, tab, "requests only (paper)")
+	full := row(t, tab, "requests + fills/evictions")
+	for col := 1; col <= 2; col++ {
+		p := parsePct(t, paper[col])
+		f := parsePct(t, full[col])
+		if f >= p {
+			t.Errorf("col %d: counting fills should shrink the reduction (%.3f vs %.3f)", col, f, p)
+		}
+		if f <= 0.1 {
+			t.Errorf("col %d: reduction %.3f collapsed with fills counted", col, f)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// Golden renders for the fully deterministic, workload-independent tables.
+// These lock the exact output a user of cmd/figures sees, so accidental
+// changes to counting or rendering surface immediately.
+
+func TestFig8Golden(t *testing.T) {
+	tab, err := Fig8(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `Figure 8 — worked example: array accesses per scheme
+scheme        array reads  array writes  total
+----------------------------------------------
+Conventional  5            4             9    
+RMW           9            4             13   
+WG            7            2             9    
+WG+RB         4            1             5    
+`
+	if got := tab.String(); got != want {
+		t.Errorf("Fig8 render changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestECCGolden(t *testing.T) {
+	tab, err := ECC(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `§2 — bit interleaving vs multi-bit soft errors (SEC-DED per 64-bit word)
+interleave  max correctable burst (analytic)  fault-injection check  needs RMW for writes
+-----------------------------------------------------------------------------------------
+1           1 bits                            all words recovered    false               
+2           2 bits                            all words recovered    true                
+4           4 bits                            all words recovered    true                
+8           8 bits                            all words recovered    true                
+`
+	if got := tab.String(); got != want {
+		t.Errorf("ECC render changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

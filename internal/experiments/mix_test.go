@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestMixExperiment(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 40_000
+	tab, err := Mix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("mix table has %d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		solo := parsePct(t, r[1])
+		q10 := parsePct(t, r[2])
+		q1000 := parsePct(t, r[4])
+		deep := parsePct(t, r[5])
+		if q10 >= solo {
+			t.Errorf("%s: q=10 mix %.3f not below solo %.3f", r[0], q10, solo)
+		}
+		if q1000 < q10 {
+			t.Errorf("%s: longer quanta should recover reduction (q10 %.3f, q1000 %.3f)", r[0], q10, q1000)
+		}
+		if deep <= q10 {
+			t.Errorf("%s: depth 4 %.3f did not beat depth 1 %.3f at q=10", r[0], deep, q10)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package mem implements a sparse byte-addressable shadow memory.
+//
+// The simulator needs a memory image for two reasons: the cache model holds
+// real line data (so write-backs and fills move actual bytes), and silent
+// write detection (paper §3, Figure 5) must compare the value being stored
+// with the value already present. Memory is sparse — SPEC-like traces touch
+// tiny, scattered fractions of a 48-bit space — so storage is a map of
+// fixed-size chunks, with unbacked bytes reading as zero.
+package mem
+
+import "encoding/binary"
+
+// ChunkSize is the granularity of backing allocation, in bytes.
+const ChunkSize = 64
+
+// Memory is a sparse byte store. The zero value is not usable; call New.
+type Memory struct {
+	chunks map[uint64]*[ChunkSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{chunks: make(map[uint64]*[ChunkSize]byte)}
+}
+
+func (m *Memory) chunkFor(addr uint64, create bool) (*[ChunkSize]byte, uint64) {
+	base := addr &^ uint64(ChunkSize-1)
+	c := m.chunks[base]
+	if c == nil && create {
+		c = new([ChunkSize]byte)
+		m.chunks[base] = c
+	}
+	return c, addr - base
+}
+
+// LoadByte returns the byte at addr (zero if unbacked).
+func (m *Memory) LoadByte(addr uint64) byte {
+	c, off := m.chunkFor(addr, false)
+	if c == nil {
+		return 0
+	}
+	return c[off]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	c, off := m.chunkFor(addr, true)
+	c[off] = b
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (m *Memory) Read(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		c, off := m.chunkFor(addr, false)
+		n := ChunkSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if c == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst, c[off:int(off)+n])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies src into memory starting at addr.
+func (m *Memory) Write(addr uint64, src []byte) {
+	for len(src) > 0 {
+		c, off := m.chunkFor(addr, true)
+		n := copy(c[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadWord returns size bytes at addr as a little-endian integer.
+// size must be 1, 2, 4, or 8.
+func (m *Memory) ReadWord(addr uint64, size uint8) uint64 {
+	var buf [8]byte
+	m.Read(addr, buf[:size])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteWord stores the low size bytes of data at addr, little-endian.
+func (m *Memory) WriteWord(addr uint64, size uint8, data uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], data)
+	m.Write(addr, buf[:size])
+}
+
+// WouldBeSilent reports whether writing data (size bytes) at addr would leave
+// memory unchanged — the definition of a silent store (Lepak & Lipasti).
+func (m *Memory) WouldBeSilent(addr uint64, size uint8, data uint64) bool {
+	mask := ^uint64(0)
+	if size < 8 {
+		mask = 1<<(8*size) - 1
+	}
+	return m.ReadWord(addr, size) == data&mask
+}
+
+// FootprintBytes returns the number of backed bytes.
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.chunks)) * ChunkSize
+}
+
+// Clone returns a deep copy of the memory image. Used by correctness property
+// tests to run two controllers from identical initial state.
+func (m *Memory) Clone() *Memory {
+	out := New()
+	for base, c := range m.chunks {
+		dup := *c
+		out.chunks[base] = &dup
+	}
+	return out
+}
+
+// Equal reports whether two memories hold the same image (unbacked bytes
+// compare as zero, so a chunk of zeros equals an absent chunk).
+func (m *Memory) Equal(other *Memory) bool {
+	return m.coveredBy(other) && other.coveredBy(m)
+}
+
+func (m *Memory) coveredBy(other *Memory) bool {
+	for base, c := range m.chunks {
+		oc := other.chunks[base]
+		if oc == nil {
+			if *c != ([ChunkSize]byte{}) {
+				return false
+			}
+			continue
+		}
+		if *c != *oc {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnbackedReadsZero(t *testing.T) {
+	m := New()
+	if m.LoadByte(0xdeadbeef) != 0 {
+		t.Fatal("unbacked byte nonzero")
+	}
+	if m.ReadWord(1<<40, 8) != 0 {
+		t.Fatal("unbacked word nonzero")
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(100, 0xab)
+	if got := m.LoadByte(100); got != 0xab {
+		t.Fatalf("ReadByte = %#x", got)
+	}
+	if got := m.LoadByte(101); got != 0 {
+		t.Fatalf("neighbor byte = %#x", got)
+	}
+}
+
+func TestWordRoundTripAllSizes(t *testing.T) {
+	m := New()
+	for _, size := range []uint8{1, 2, 4, 8} {
+		addr := uint64(0x1000) + uint64(size)*16
+		data := uint64(0x1122334455667788)
+		m.WriteWord(addr, size, data)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		if got := m.ReadWord(addr, size); got != data&mask {
+			t.Errorf("size %d: got %#x want %#x", size, got, data&mask)
+		}
+	}
+}
+
+func TestCrossChunkAccess(t *testing.T) {
+	m := New()
+	// Straddle the 64-byte chunk boundary at address 64.
+	m.WriteWord(60, 8, 0x0102030405060708)
+	if got := m.ReadWord(60, 8); got != 0x0102030405060708 {
+		t.Fatalf("cross-chunk word = %#x", got)
+	}
+	if got := m.LoadByte(63); got != 0x05 {
+		t.Fatalf("byte 63 = %#x", got)
+	}
+	if got := m.LoadByte(64); got != 0x04 {
+		t.Fatalf("byte 64 = %#x", got)
+	}
+}
+
+func TestBulkReadWrite(t *testing.T) {
+	m := New()
+	src := make([]byte, 300)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	m.Write(1000, src)
+	dst := make([]byte, 300)
+	m.Read(1000, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %#x want %#x", i, dst[i], src[i])
+		}
+	}
+	// Partial overlap with unbacked space reads zeros.
+	far := make([]byte, 10)
+	m.Read(1<<30, far)
+	for _, b := range far {
+		if b != 0 {
+			t.Fatal("unbacked bulk read nonzero")
+		}
+	}
+}
+
+func TestWouldBeSilent(t *testing.T) {
+	m := New()
+	if !m.WouldBeSilent(0x500, 4, 0) {
+		t.Fatal("writing zero to unbacked memory should be silent")
+	}
+	m.WriteWord(0x500, 4, 42)
+	if !m.WouldBeSilent(0x500, 4, 42) {
+		t.Fatal("rewrite of same value not silent")
+	}
+	if m.WouldBeSilent(0x500, 4, 43) {
+		t.Fatal("different value reported silent")
+	}
+	// High bits beyond the access size must be ignored.
+	if !m.WouldBeSilent(0x500, 4, 42|0xff00000000) {
+		t.Fatal("high garbage bits broke silence check")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	if m.FootprintBytes() != 0 {
+		t.Fatal("fresh memory has footprint")
+	}
+	m.StoreByte(0, 1)
+	m.StoreByte(63, 1) // same chunk
+	if m.FootprintBytes() != ChunkSize {
+		t.Fatalf("footprint = %d", m.FootprintBytes())
+	}
+	m.StoreByte(64, 1) // next chunk
+	if m.FootprintBytes() != 2*ChunkSize {
+		t.Fatalf("footprint = %d", m.FootprintBytes())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	m.WriteWord(8, 8, 7)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.WriteWord(8, 8, 9)
+	if m.ReadWord(8, 8) != 7 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if m.Equal(c) {
+		t.Fatal("diverged memories compare equal")
+	}
+}
+
+func TestEqualTreatsZeroChunksAsAbsent(t *testing.T) {
+	a, b := New(), New()
+	a.StoreByte(128, 0) // allocates a chunk of zeros
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("zero chunk should equal absent chunk")
+	}
+	a.StoreByte(128, 1)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("distinct memories equal")
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(addr, data uint64, sel uint8) bool {
+		size := sizes[sel&3]
+		addr &= 1<<40 - 1 // keep map small-ish per run
+		m := New()
+		m.WriteWord(addr, size, data)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return m.ReadWord(addr, size) == data&mask && m.WouldBeSilent(addr, size, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package pinlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble turns assembly text into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment                     # comment
+//	loop:                         label
+//	li   r1, 0x1000               load immediate (decimal or 0x hex)
+//	add  r3, r1, r2               ALU: rd, ra, rb
+//	addi r1, r1, 8                immediate ALU: rd, ra, imm
+//	ld   r4, r1, 0                load 8 B from [r1+0]
+//	st4  r4, r2, 16               store 4 B to [r2+16]
+//	blt  r1, r5, loop             branch to label
+//	halt
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var prog Program
+	labels := map[string]int{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" || strings.ContainsAny(name, " \t,") {
+				return nil, fmt.Errorf("pinlite: line %d: bad label %q", lineNo+1, line)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("pinlite: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		op, ok := opByName[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("pinlite: line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+		}
+		args := splitArgs(rest)
+		in := Instr{Op: op}
+		var err error
+		switch op {
+		case OpHalt:
+			err = expectArgs(args, 0)
+		case OpLi:
+			if err = expectArgs(args, 2); err == nil {
+				in.D, err = parseReg(args[0])
+				if err == nil {
+					in.Imm, err = parseImm(args[1])
+				}
+			}
+		case OpMov:
+			if err = expectArgs(args, 2); err == nil {
+				in.D, err = parseReg(args[0])
+				if err == nil {
+					in.A, err = parseReg(args[1])
+				}
+			}
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor:
+			if err = expectArgs(args, 3); err == nil {
+				in.D, err = parseReg(args[0])
+				if err == nil {
+					in.A, err = parseReg(args[1])
+				}
+				if err == nil {
+					in.B, err = parseReg(args[2])
+				}
+			}
+		case OpAddi, OpShl, OpShr, OpLd, OpLd4, OpSt, OpSt4:
+			if err = expectArgs(args, 3); err == nil {
+				in.D, err = parseReg(args[0])
+				if err == nil {
+					in.A, err = parseReg(args[1])
+				}
+				if err == nil {
+					in.Imm, err = parseImm(args[2])
+				}
+			}
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if err = expectArgs(args, 3); err == nil {
+				in.A, err = parseReg(args[0])
+				if err == nil {
+					in.B, err = parseReg(args[1])
+				}
+				if err == nil {
+					fixups = append(fixups, pending{len(prog), args[2], lineNo + 1})
+				}
+			}
+		case OpJmp:
+			if err = expectArgs(args, 1); err == nil {
+				fixups = append(fixups, pending{len(prog), args[0], lineNo + 1})
+			}
+		case OpJal:
+			if err = expectArgs(args, 2); err == nil {
+				in.D, err = parseReg(args[0])
+				if err == nil {
+					fixups = append(fixups, pending{len(prog), args[1], lineNo + 1})
+				}
+			}
+		case OpJr:
+			if err = expectArgs(args, 1); err == nil {
+				in.A, err = parseReg(args[0])
+			}
+		default:
+			err = fmt.Errorf("unhandled opcode %v", op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pinlite: line %d: %q: %v", lineNo+1, line, err)
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("pinlite: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int64(target)
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors; for the kernel library whose
+// sources are compile-time constants.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func expectArgs(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, have %d", n, len(args))
+	}
+	return nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,35 @@
+package pinlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble throws arbitrary text at the assembler: it must never panic,
+// and anything it accepts must disassemble to mnemonics it knows and run on
+// the machine without faulting beyond the defined error cases.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 5\nhalt")
+	f.Add("loop:\n addi r1, r1, 1\n blt r1, r2, loop\n halt")
+	f.Add("; comment only")
+	f.Add(memsetSrc)
+	f.Add(matmulSrc)
+	f.Add("ld r1, r2, -8\nst r1, r2, 99999999999\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for _, in := range prog {
+			s := in.String()
+			mnemonic, _, _ := strings.Cut(s, " ")
+			if _, ok := opByName[mnemonic]; !ok {
+				t.Fatalf("accepted program disassembles to unknown %q", s)
+			}
+		}
+		// Execution with a budget must return cleanly (nil, ErrBudget, or
+		// a pc-range error) — never panic.
+		m := NewMachine(prog)
+		_ = m.Run(10_000)
+	})
+}

@@ -1,0 +1,128 @@
+// Package pinlite is a miniature stand-in for the Pin dynamic-instrumentation
+// methodology the paper uses (§5.1): a small register VM executes real
+// programs (kernels written in a tiny assembly language), and an
+// instrumentation hook observes every memory access — address, size, kind,
+// and the data value — exactly the information the paper's Pin tool feeds
+// its cache model.
+//
+// This closes the methodology loop end to end: examples/pintool builds a
+// matmul, "instruments" it, and drives the cache controllers with a trace
+// produced by actual executed code rather than a statistical generator.
+package pinlite
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	// OpHalt stops execution.
+	OpHalt Op = iota
+	// OpLi loads a 64-bit immediate: li rd, imm.
+	OpLi
+	// OpMov copies a register: mov rd, ra.
+	OpMov
+	// OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor are three-register ALU ops:
+	// op rd, ra, rb.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	// OpAddi adds an immediate: addi rd, ra, imm.
+	OpAddi
+	// OpShl and OpShr shift by an immediate: shl rd, ra, imm.
+	OpShl
+	OpShr
+	// OpLd loads 8 bytes: ld rd, ra, off. OpLd4 loads 4 bytes.
+	OpLd
+	OpLd4
+	// OpSt stores 8 bytes: st rs, ra, off. OpSt4 stores 4 bytes.
+	OpSt
+	OpSt4
+	// OpBeq, OpBne, OpBlt, OpBge branch on a register pair: beq ra, rb, label.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	// OpJmp jumps unconditionally: jmp label.
+	OpJmp
+	// OpJal jumps to a label, saving the return address (the next
+	// instruction index) in rd: jal rd, label.
+	OpJal
+	// OpJr jumps to the instruction index held in ra: jr ra.
+	OpJr
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"halt", "li", "mov", "add", "sub", "mul", "and", "or", "xor",
+	"addi", "shl", "shr", "ld", "ld4", "st", "st4",
+	"beq", "bne", "blt", "bge", "jmp", "jal", "jr",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// opByName maps mnemonic to opcode.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for i, n := range opNames {
+		m[n] = Op(i)
+	}
+	return m
+}()
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// Instr is one decoded instruction. Fields are used per opcode:
+// D = destination (or store source), A/B = operands, Imm = immediate or
+// memory offset or branch target (instruction index after assembly).
+type Instr struct {
+	Op  Op
+	D   uint8
+	A   uint8
+	B   uint8
+	Imm int64
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpHalt:
+		return "halt"
+	case OpLi:
+		return fmt.Sprintf("li r%d, %d", i.D, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.D, i.A)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.D, i.A, i.B)
+	case OpAddi, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.D, i.A, i.Imm)
+	case OpLd, OpLd4:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.D, i.A, i.Imm)
+	case OpSt, OpSt4:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.D, i.A, i.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", i.Op, i.A, i.B, i.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", i.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal r%d, @%d", i.D, i.Imm)
+	case OpJr:
+		return fmt.Sprintf("jr r%d", i.A)
+	default:
+		return fmt.Sprintf("?%d", i.Op)
+	}
+}
+
+// Program is an assembled instruction sequence.
+type Program []Instr

@@ -1,0 +1,274 @@
+package pinlite
+
+import "cache8t/internal/trace"
+
+// Kernel is a ready-to-run program plus the machine setup (registers,
+// initial memory) it expects — the pinlite equivalent of a benchmark binary.
+type Kernel struct {
+	Name        string
+	Description string
+	Prog        Program
+	Setup       func(*Machine)
+}
+
+// Run executes the kernel and returns its memory trace.
+func (k Kernel) Run(budget uint64) ([]trace.Access, error) {
+	return Trace(k.Prog, budget, k.Setup)
+}
+
+// memsetSrc writes one 8-byte word per iteration: the purest WW stream —
+// the pattern Write Grouping is built for.
+const memsetSrc = `
+; r1 = dst cursor, r2 = end, r3 = value
+loop:
+	st   r3, r1, 0
+	addi r1, r1, 8
+	blt  r1, r2, loop
+	halt
+`
+
+// NewMemset builds a memset of words 8-byte words at dst storing value.
+func NewMemset(dst uint64, words int, value uint64) Kernel {
+	return Kernel{
+		Name:        "memset",
+		Description: "sequential 8B stores (pure WW stream)",
+		Prog:        MustAssemble(memsetSrc),
+		Setup: func(m *Machine) {
+			m.Regs[1] = dst
+			m.Regs[2] = dst + uint64(words)*8
+			m.Regs[3] = value
+		},
+	}
+}
+
+const memcpySrc = `
+; r1 = src cursor, r2 = dst cursor, r3 = src end
+loop:
+	ld   r4, r1, 0
+	st   r4, r2, 0
+	addi r1, r1, 8
+	addi r2, r2, 8
+	blt  r1, r3, loop
+	halt
+`
+
+// NewMemcpy builds a copy of words 8-byte words from src to dst. Seeding
+// src with data is the caller's Setup concern; the default fills it with a
+// ramp so stores are non-silent.
+func NewMemcpy(src, dst uint64, words int) Kernel {
+	return Kernel{
+		Name:        "memcpy",
+		Description: "load/store copy loop (alternating RW across two regions)",
+		Prog:        MustAssemble(memcpySrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < words; i++ {
+				m.Mem.WriteWord(src+uint64(i)*8, 8, uint64(i)*2654435761+1)
+			}
+			m.Regs[1] = src
+			m.Regs[2] = dst
+			m.Regs[3] = src + uint64(words)*8
+		},
+	}
+}
+
+const saxpySrc = `
+; r1 = x cursor, r2 = y cursor, r3 = x end, r4 = a
+loop:
+	ld   r5, r1, 0
+	mul  r5, r5, r4
+	ld   r6, r2, 0
+	add  r6, r6, r5
+	st   r6, r2, 0
+	addi r1, r1, 8
+	addi r2, r2, 8
+	blt  r1, r3, loop
+	halt
+`
+
+// NewSaxpy builds y[i] += a*x[i] over words elements: an in-place
+// read-modify-write sweep, the pattern Read Bypassing is built for.
+// With a == 0 and zeroed x, every store is silent.
+func NewSaxpy(x, y uint64, words int, a uint64) Kernel {
+	return Kernel{
+		Name:        "saxpy",
+		Description: "y[i] += a*x[i] (in-place RMW sweep)",
+		Prog:        MustAssemble(saxpySrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < words; i++ {
+				m.Mem.WriteWord(x+uint64(i)*8, 8, uint64(i)+1)
+			}
+			m.Regs[1] = x
+			m.Regs[2] = y
+			m.Regs[3] = x + uint64(words)*8
+			m.Regs[4] = a
+		},
+	}
+}
+
+const reduceSrc = `
+; r1 = src cursor, r2 = end, r3 = accumulator
+loop:
+	ld   r4, r1, 0
+	add  r3, r3, r4
+	addi r1, r1, 8
+	blt  r1, r2, loop
+	halt
+`
+
+// NewReduce builds a sum over words elements: a pure sequential read
+// stream.
+func NewReduce(src uint64, words int) Kernel {
+	return Kernel{
+		Name:        "reduce",
+		Description: "sequential sum (pure RR stream)",
+		Prog:        MustAssemble(reduceSrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < words; i++ {
+				m.Mem.WriteWord(src+uint64(i)*8, 8, uint64(i))
+			}
+			m.Regs[1] = src
+			m.Regs[2] = src + uint64(words)*8
+		},
+	}
+}
+
+const matmulSrc = `
+; r1 = a, r2 = b, r3 = c, r4 = n  (n x n int64 matrices)
+	li   r5, 0              ; i
+iloop:
+	li   r6, 0              ; j
+jloop:
+	li   r7, 0              ; k
+	li   r8, 0              ; acc
+kloop:
+	mul  r9, r5, r4
+	add  r9, r9, r7
+	shl  r9, r9, 3
+	add  r9, r9, r1
+	ld   r10, r9, 0         ; a[i][k]
+	mul  r11, r7, r4
+	add  r11, r11, r6
+	shl  r11, r11, 3
+	add  r11, r11, r2
+	ld   r12, r11, 0        ; b[k][j]
+	mul  r10, r10, r12
+	add  r8, r8, r10
+	addi r7, r7, 1
+	blt  r7, r4, kloop
+	mul  r9, r5, r4
+	add  r9, r9, r6
+	shl  r9, r9, 3
+	add  r9, r9, r3
+	st   r8, r9, 0          ; c[i][j]
+	addi r6, r6, 1
+	blt  r6, r4, jloop
+	addi r5, r5, 1
+	blt  r5, r4, iloop
+	halt
+`
+
+// NewMatmul builds an n x n integer matrix multiply, c = a*b — the kind of
+// loop nest the paper's FP benchmarks spend their time in.
+func NewMatmul(a, b, c uint64, n int) Kernel {
+	return Kernel{
+		Name:        "matmul",
+		Description: "n^3 dense matrix multiply (mixed streams + write bursts)",
+		Prog:        MustAssemble(matmulSrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < n*n; i++ {
+				m.Mem.WriteWord(a+uint64(i)*8, 8, uint64(i%7+1))
+				m.Mem.WriteWord(b+uint64(i)*8, 8, uint64(i%5+1))
+			}
+			m.Regs[1] = a
+			m.Regs[2] = b
+			m.Regs[3] = c
+			m.Regs[4] = uint64(n)
+		},
+	}
+}
+
+const chaseSrc = `
+; r1 = current node, r2 = remaining hops, r3 = zero
+	li   r3, 0
+loop:
+	ld   r1, r1, 0          ; follow next pointer
+	addi r2, r2, -1
+	bne  r2, r3, loop
+	halt
+`
+
+// NewPointerChase builds a linked-list traversal over nodes 16-byte nodes
+// laid out in a shuffled order within a region starting at base. stride
+// controls node spacing. hops is how many links to follow.
+func NewPointerChase(base uint64, nodes, hops int) Kernel {
+	return Kernel{
+		Name:        "chase",
+		Description: "dependent linked-list loads (no spatial locality)",
+		Prog:        MustAssemble(chaseSrc),
+		Setup: func(m *Machine) {
+			// A maximal-period LCG walk over node slots gives a single
+			// cycle through all nodes without allocation.
+			const nodeSize = 64 // one node per cache block: no accidental locality
+			perm := func(i int) int { return (i*5 + 3) % nodes }
+			for i := 0; i < nodes; i++ {
+				from := base + uint64(perm(i))*nodeSize
+				to := base + uint64(perm(i+1))*nodeSize
+				m.Mem.WriteWord(from, 8, to)
+			}
+			m.Regs[1] = base + uint64(perm(0))*nodeSize
+			m.Regs[2] = uint64(hops)
+		},
+	}
+}
+
+const histogramSrc = `
+; r1 = src cursor, r2 = src end, r3 = hist base, r4 = bucket mask
+loop:
+	ld   r5, r1, 0
+	and  r5, r5, r4
+	shl  r5, r5, 3
+	add  r5, r5, r3
+	ld   r6, r5, 0
+	addi r6, r6, 1
+	st   r6, r5, 0
+	addi r1, r1, 8
+	blt  r1, r2, loop
+	halt
+`
+
+// NewHistogram builds a bucket-count loop: reads a source stream and
+// increments one of buckets counters (buckets must be a power of two) —
+// scattered read-modify-writes over a hot table.
+func NewHistogram(src, hist uint64, words, buckets int) Kernel {
+	return Kernel{
+		Name:        "histogram",
+		Description: "stream reads + scattered RMW increments on a hot table",
+		Prog:        MustAssemble(histogramSrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < words; i++ {
+				m.Mem.WriteWord(src+uint64(i)*8, 8, uint64(i)*2654435761)
+			}
+			m.Regs[1] = src
+			m.Regs[2] = src + uint64(words)*8
+			m.Regs[3] = hist
+			m.Regs[4] = uint64(buckets - 1)
+		},
+	}
+}
+
+// Kernels returns the standard kernel suite at moderate sizes, for tests
+// and the writeburst/pintool examples.
+func Kernels() []Kernel {
+	return []Kernel{
+		NewMemset(0x10000, 4096, 0xabcd),
+		NewMemcpy(0x40000, 0x80000, 4096),
+		NewSaxpy(0xc0000, 0x100000, 4096, 3),
+		NewReduce(0x140000, 4096),
+		NewMatmul(0x180000, 0x1c0000, 0x200000, 24),
+		NewPointerChase(0x240000, 2048, 8192),
+		NewHistogram(0x280000, 0x2c0000, 4096, 64),
+		NewStencil(0x300000, 0x340000, 4096),
+		NewQueue(0x380000, 64, 4096),
+		NewFib(0x3c0000, 17),
+	}
+}

@@ -1,0 +1,134 @@
+package pinlite
+
+const stencilSrc = `
+; r1 = src, r2 = dst, r3 = n (elements), r4 = i (starts at 1)
+	li   r4, 1
+	addi r5, r3, -1         ; last interior index bound
+loop:
+	shl  r6, r4, 3
+	add  r7, r6, r1
+	ld   r8, r7, -8         ; src[i-1]
+	ld   r9, r7, 0          ; src[i]
+	ld   r10, r7, 8         ; src[i+1]
+	add  r8, r8, r9
+	add  r8, r8, r10
+	add  r11, r6, r2
+	st   r8, r11, 0         ; dst[i]
+	addi r4, r4, 1
+	blt  r4, r5, loop
+	halt
+`
+
+// NewStencil builds a 1-D 3-point stencil dst[i] = src[i-1]+src[i]+src[i+1]
+// over n elements: three read streams converging on one write stream, the
+// canonical scientific-loop shape (leslie3d/zeusmp flavor).
+func NewStencil(src, dst uint64, n int) Kernel {
+	return Kernel{
+		Name:        "stencil",
+		Description: "3-point stencil (3 reads + 1 write per element)",
+		Prog:        MustAssemble(stencilSrc),
+		Setup: func(m *Machine) {
+			for i := 0; i < n; i++ {
+				m.Mem.WriteWord(src+uint64(i)*8, 8, uint64(i*i%97))
+			}
+			m.Regs[1] = src
+			m.Regs[2] = dst
+			m.Regs[3] = uint64(n)
+		},
+	}
+}
+
+const queueSrc = `
+; r1 = ring base, r2 = slot mask, r3 = iterations, r4 = head, r5 = tail
+; r6 = payload counter, r7 = zero
+	li   r7, 0
+loop:
+	; produce: ring[head & mask] = payload++
+	and  r8, r4, r2
+	shl  r8, r8, 3
+	add  r8, r8, r1
+	st   r6, r8, 0
+	addi r6, r6, 1
+	addi r4, r4, 1
+	; consume: read ring[tail & mask]
+	and  r9, r5, r2
+	shl  r9, r9, 3
+	add  r9, r9, r1
+	ld   r10, r9, 0
+	addi r5, r5, 1
+	addi r3, r3, -1
+	bne  r3, r7, loop
+	halt
+`
+
+// NewQueue builds a single-producer/single-consumer ring buffer of slots
+// entries (power of two), pushing and popping iters items: a tight
+// write-then-read loop over a hot region — WR/RW pairs in the same sets,
+// the omnetpp/server flavor.
+func NewQueue(base uint64, slots, iters int) Kernel {
+	return Kernel{
+		Name:        "queue",
+		Description: "SPSC ring buffer (alternating W/R over a hot region)",
+		Prog:        MustAssemble(queueSrc),
+		Setup: func(m *Machine) {
+			m.Regs[1] = base
+			m.Regs[2] = uint64(slots - 1)
+			m.Regs[3] = uint64(iters)
+			// head starts one lap ahead so the consumer reads live data.
+			m.Regs[4] = 0
+			m.Regs[5] = 0
+		},
+	}
+}
+
+const fibSrc = `
+; Recursive fib(n) with an explicit memory stack — real call/return traffic.
+; r1 = stack pointer (grows down), r2 = n (argument), r3 = result,
+; r14 = link register, r15 = scratch zero.
+	li   r15, 0
+	jal  r14, fib
+	halt
+fib:
+	li   r4, 2
+	blt  r2, r4, base       ; n < 2 -> result = n
+	; push n and the link register
+	addi r1, r1, -16
+	st   r2, r1, 0
+	st   r14, r1, 8
+	; fib(n-1)
+	addi r2, r2, -1
+	jal  r14, fib
+	; stash partial result over the saved n slot's neighbor
+	addi r1, r1, -8
+	st   r3, r1, 0
+	; fib(n-2): reload original n
+	ld   r2, r1, 8
+	addi r2, r2, -2
+	jal  r14, fib
+	; result = partial + fib(n-2)
+	ld   r5, r1, 0
+	add  r3, r3, r5
+	addi r1, r1, 8
+	; pop n and link register
+	ld   r14, r1, 8
+	addi r1, r1, 16
+	jr   r14
+base:
+	mov  r3, r2
+	jr   r14
+`
+
+// NewFib builds a recursive Fibonacci of n with an explicit memory stack:
+// genuine call/return spill traffic, the gamess/gobmk flavor, and a
+// correctness probe for the jal/jr instructions.
+func NewFib(stackTop uint64, n int) Kernel {
+	return Kernel{
+		Name:        "fib",
+		Description: "recursive fib(n) with a memory stack (call/return spills)",
+		Prog:        MustAssemble(fibSrc),
+		Setup: func(m *Machine) {
+			m.Regs[1] = stackTop
+			m.Regs[2] = uint64(n)
+		},
+	}
+}

@@ -1,0 +1,153 @@
+package pinlite
+
+import (
+	"testing"
+
+	"cache8t/internal/trace"
+)
+
+func TestStencilKernelValues(t *testing.T) {
+	const n = 64
+	src, dst := uint64(0x1000), uint64(0x9000)
+	k := NewStencil(src, dst, n)
+	m := NewMachine(k.Prog)
+	k.Setup(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n-1; i++ {
+		want := m.Mem.ReadWord(src+uint64(i-1)*8, 8) +
+			m.Mem.ReadWord(src+uint64(i)*8, 8) +
+			m.Mem.ReadWord(src+uint64(i+1)*8, 8)
+		if got := m.Mem.ReadWord(dst+uint64(i)*8, 8); got != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStencilAccessMix(t *testing.T) {
+	k := NewStencil(0x1000, 0x9000, 128)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int
+	for _, a := range accs {
+		if a.Kind == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	if reads != 3*writes {
+		t.Fatalf("stencil mix %d reads / %d writes, want 3:1", reads, writes)
+	}
+}
+
+func TestQueueKernel(t *testing.T) {
+	k := NewQueue(0x4000, 16, 500)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write + one read per iteration.
+	var reads, writes int
+	for _, a := range accs {
+		if a.Kind == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	if reads != 500 || writes != 500 {
+		t.Fatalf("queue emitted %d reads / %d writes, want 500/500", reads, writes)
+	}
+	// The consumer reads what the producer just wrote (same slot index,
+	// head==tail in this kernel), so every read returns the fresh payload.
+	for i := 0; i < len(accs)-1; i += 2 {
+		if accs[i].Kind != trace.Write || accs[i+1].Kind != trace.Read {
+			t.Fatalf("iteration %d: ops out of order", i/2)
+		}
+		if accs[i].Addr != accs[i+1].Addr || accs[i].Data != accs[i+1].Data {
+			t.Fatalf("iteration %d: consumer saw %+v after producer %+v", i/2, accs[i+1], accs[i])
+		}
+	}
+}
+
+func TestQueueStaysInRegion(t *testing.T) {
+	const base, slots = 0x4000, 16
+	k := NewQueue(base, slots, 1000)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		if a.Addr < base || a.Addr >= base+slots*8 {
+			t.Fatalf("access outside ring: %+v", a)
+		}
+	}
+}
+
+func TestJalJrRoundTrip(t *testing.T) {
+	p := MustAssemble(`
+		li  r1, 5
+		jal r14, double
+		halt
+	double:
+		add r1, r1, r1
+		jr  r14
+	`)
+	m := NewMachine(p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 10 {
+		t.Fatalf("r1 = %d, want 10", m.Regs[1])
+	}
+}
+
+func TestFibKernelValues(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		k := NewFib(0x8000, n)
+		m := NewMachine(k.Prog)
+		k.Setup(m)
+		if err := m.Run(5_000_000); err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
+		if m.Regs[3] != w {
+			t.Fatalf("fib(%d) = %d, want %d", n, m.Regs[3], w)
+		}
+		// The stack pointer must be balanced after the outer call returns.
+		if m.Regs[1] != 0x8000 {
+			t.Fatalf("fib(%d): stack pointer %#x, want 0x8000", n, m.Regs[1])
+		}
+	}
+}
+
+func TestFibKernelEmitsStackTraffic(t *testing.T) {
+	k := NewFib(0x8000, 12)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) == 0 {
+		t.Fatal("fib emitted no memory traffic")
+	}
+	var reads, writes int
+	for _, a := range accs {
+		if a.Kind == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	if writes == 0 || reads == 0 {
+		t.Fatalf("fib mix %d reads / %d writes", reads, writes)
+	}
+	// Spill/reload balance: pushes write 3 words per recursive call (n,
+	// link, partial), pops read them back plus the n reload.
+	if reads <= writes/2 {
+		t.Fatalf("suspicious mix %d reads / %d writes", reads, writes)
+	}
+}

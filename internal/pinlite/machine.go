@@ -1,0 +1,174 @@
+package pinlite
+
+import (
+	"errors"
+	"fmt"
+
+	"cache8t/internal/mem"
+	"cache8t/internal/trace"
+)
+
+// MemHook observes one executed memory access — the pinlite analogue of a
+// Pin analysis routine registered on memory operands.
+type MemHook func(a trace.Access)
+
+// Machine executes a Program over a byte-addressable memory.
+type Machine struct {
+	Regs [NumRegs]uint64
+	Mem  *mem.Memory
+
+	prog  Program
+	pc    int
+	icnt  uint64
+	hooks []MemHook
+
+	// gap counts non-memory instructions since the last memory access, so
+	// hooks receive Pin-accurate instruction spacing.
+	gap uint32
+}
+
+// ErrBudget reports that Run hit its instruction budget before halting.
+var ErrBudget = errors.New("pinlite: instruction budget exhausted")
+
+// NewMachine builds a machine for prog with a fresh memory.
+func NewMachine(prog Program) *Machine {
+	return &Machine{Mem: mem.New(), prog: prog}
+}
+
+// AddMemHook registers an instrumentation hook, Pin-style. Hooks run in
+// registration order on every load and store.
+func (m *Machine) AddMemHook(h MemHook) { m.hooks = append(m.hooks, h) }
+
+// Instructions returns the number of instructions executed so far.
+func (m *Machine) Instructions() uint64 { return m.icnt }
+
+// Run executes until halt or until budget instructions have retired
+// (budget <= 0 means no limit). It returns ErrBudget if the budget ran out,
+// or an execution error (bad PC) otherwise.
+func (m *Machine) Run(budget uint64) error {
+	for {
+		if budget > 0 && m.icnt >= budget {
+			return ErrBudget
+		}
+		if m.pc < 0 || m.pc >= len(m.prog) {
+			return fmt.Errorf("pinlite: pc %d out of program (len %d)", m.pc, len(m.prog))
+		}
+		in := m.prog[m.pc]
+		m.pc++
+		m.icnt++
+		switch in.Op {
+		case OpHalt:
+			return nil
+		case OpLi:
+			m.Regs[in.D] = uint64(in.Imm)
+			m.gap++
+		case OpMov:
+			m.Regs[in.D] = m.Regs[in.A]
+			m.gap++
+		case OpAdd:
+			m.Regs[in.D] = m.Regs[in.A] + m.Regs[in.B]
+			m.gap++
+		case OpSub:
+			m.Regs[in.D] = m.Regs[in.A] - m.Regs[in.B]
+			m.gap++
+		case OpMul:
+			m.Regs[in.D] = m.Regs[in.A] * m.Regs[in.B]
+			m.gap++
+		case OpAnd:
+			m.Regs[in.D] = m.Regs[in.A] & m.Regs[in.B]
+			m.gap++
+		case OpOr:
+			m.Regs[in.D] = m.Regs[in.A] | m.Regs[in.B]
+			m.gap++
+		case OpXor:
+			m.Regs[in.D] = m.Regs[in.A] ^ m.Regs[in.B]
+			m.gap++
+		case OpAddi:
+			m.Regs[in.D] = m.Regs[in.A] + uint64(in.Imm)
+			m.gap++
+		case OpShl:
+			m.Regs[in.D] = m.Regs[in.A] << (uint64(in.Imm) & 63)
+			m.gap++
+		case OpShr:
+			m.Regs[in.D] = m.Regs[in.A] >> (uint64(in.Imm) & 63)
+			m.gap++
+		case OpLd:
+			m.load(in, 8)
+		case OpLd4:
+			m.load(in, 4)
+		case OpSt:
+			m.store(in, 8)
+		case OpSt4:
+			m.store(in, 4)
+		case OpBeq:
+			m.branch(m.Regs[in.A] == m.Regs[in.B], in.Imm)
+		case OpBne:
+			m.branch(m.Regs[in.A] != m.Regs[in.B], in.Imm)
+		case OpBlt:
+			m.branch(m.Regs[in.A] < m.Regs[in.B], in.Imm)
+		case OpBge:
+			m.branch(m.Regs[in.A] >= m.Regs[in.B], in.Imm)
+		case OpJmp:
+			m.pc = int(in.Imm)
+			m.gap++
+		case OpJal:
+			m.Regs[in.D] = uint64(m.pc)
+			m.pc = int(in.Imm)
+			m.gap++
+		case OpJr:
+			m.pc = int(m.Regs[in.A])
+			m.gap++
+		default:
+			return fmt.Errorf("pinlite: invalid opcode %v at pc %d", in.Op, m.pc-1)
+		}
+	}
+}
+
+func (m *Machine) branch(taken bool, target int64) {
+	if taken {
+		m.pc = int(target)
+	}
+	m.gap++
+}
+
+func (m *Machine) load(in Instr, size uint8) {
+	addr := m.Regs[in.A] + uint64(in.Imm)
+	val := m.Mem.ReadWord(addr, size)
+	m.Regs[in.D] = val
+	m.emit(trace.Access{Kind: trace.Read, Addr: addr, Size: size, Data: val})
+}
+
+func (m *Machine) store(in Instr, size uint8) {
+	addr := m.Regs[in.A] + uint64(in.Imm)
+	val := m.Regs[in.D]
+	if size < 8 {
+		val &= 1<<(8*size) - 1
+	}
+	a := trace.Access{Kind: trace.Write, Addr: addr, Size: size, Data: val}
+	m.emit(a) // hooks observe the access before memory commits, Pin-style
+	m.Mem.WriteWord(addr, size, val)
+}
+
+func (m *Machine) emit(a trace.Access) {
+	a.Gap = m.gap
+	m.gap = 0
+	for _, h := range m.hooks {
+		h(a)
+	}
+}
+
+// Trace runs prog to completion (or budget) and returns the memory accesses
+// it performed. setup, if non-nil, can pre-load registers and memory.
+func Trace(prog Program, budget uint64, setup func(*Machine)) ([]trace.Access, error) {
+	m := NewMachine(prog)
+	if setup != nil {
+		setup(m)
+	}
+	var out []trace.Access
+	m.AddMemHook(func(a trace.Access) { out = append(out, a) })
+	err := m.Run(budget)
+	if err != nil && !errors.Is(err, ErrBudget) {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+package pinlite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cache8t/internal/trace"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+		; a comment
+		li r1, 10        # trailing comment
+		li r2, 0x20
+	loop:
+		addi r1, r1, -1
+		bne r1, r3, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 {
+		t.Fatalf("assembled %d instructions, want 5", len(p))
+	}
+	if p[0].Op != OpLi || p[0].D != 1 || p[0].Imm != 10 {
+		t.Errorf("instr 0 = %+v", p[0])
+	}
+	if p[1].Imm != 0x20 {
+		t.Errorf("hex immediate = %d", p[1].Imm)
+	}
+	if p[3].Op != OpBne || p[3].Imm != 2 {
+		t.Errorf("branch target = %+v", p[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate r1, r2", // unknown mnemonic
+		"li r99, 1",         // bad register
+		"li rx, 1",          // bad register
+		"li r1",             // missing operand
+		"li r1, 1, 2",       // extra operand
+		"li r1, zzz",        // bad immediate
+		"jmp nowhere\nhalt", // undefined label
+		"a b:",              // bad label
+		"x:\nx:\nhalt",      // duplicate label
+		"add r1, r2",        // too few for ALU
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestInstrStringsRoundTripMnemonics(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 5
+		mov r2, r1
+		add r3, r1, r2
+		addi r3, r3, 1
+		shl r4, r3, 2
+		ld r5, r1, 8
+		st4 r5, r2, 4
+		beq r1, r2, end
+		jmp end
+	end:
+		halt
+	`)
+	for _, in := range p {
+		s := in.String()
+		mnemonic, _, _ := strings.Cut(s, " ")
+		if _, ok := opByName[mnemonic]; !ok {
+			t.Errorf("disassembly %q has unknown mnemonic", s)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustAssemble("nope")
+}
+
+func TestMachineALU(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		sub r4, r3, r1
+		and r5, r3, r2
+		or  r6, r1, r2
+		xor r7, r1, r1
+		shl r8, r1, 4
+		shr r9, r8, 2
+		halt
+	`)
+	m := NewMachine(p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint64{3: 42, 4: 36, 5: 2, 6: 7, 7: 0, 8: 96, 9: 24}
+	for reg, v := range want {
+		if m.Regs[reg] != v {
+			t.Errorf("r%d = %d, want %d", reg, m.Regs[reg], v)
+		}
+	}
+	if m.Instructions() != uint64(len(p)) {
+		t.Errorf("retired %d instructions, want %d", m.Instructions(), len(p))
+	}
+}
+
+func TestMachineLoadStore(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0x1000
+		li r2, 0xdeadbeefcafe
+		st r2, r1, 0
+		ld r3, r1, 0
+		st4 r2, r1, 8
+		ld4 r4, r1, 8
+		halt
+	`)
+	m := NewMachine(p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 0xdeadbeefcafe {
+		t.Errorf("r3 = %#x", m.Regs[3])
+	}
+	if m.Regs[4] != 0xbeefcafe {
+		t.Errorf("r4 = %#x (4-byte load should truncate)", m.Regs[4])
+	}
+}
+
+func TestMachineBudget(t *testing.T) {
+	p := MustAssemble("spin:\n jmp spin\n")
+	m := NewMachine(p)
+	err := m.Run(1000)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if m.Instructions() != 1000 {
+		t.Errorf("retired %d, want 1000", m.Instructions())
+	}
+}
+
+func TestMachineBadPC(t *testing.T) {
+	// A program that runs off the end (no halt).
+	p := MustAssemble("li r1, 1")
+	if err := NewMachine(p).Run(0); err == nil {
+		t.Fatal("running off the end did not error")
+	}
+}
+
+func TestHookObservesAccessesWithGaps(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0x100
+		li r2, 7
+		st r2, r1, 0
+		addi r2, r2, 1
+		addi r2, r2, 1
+		ld r3, r1, 0
+		halt
+	`)
+	var got []trace.Access
+	m := NewMachine(p)
+	m.AddMemHook(func(a trace.Access) { got = append(got, a) })
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observed %d accesses, want 2", len(got))
+	}
+	if got[0].Kind != trace.Write || got[0].Addr != 0x100 || got[0].Data != 7 {
+		t.Errorf("store access = %+v", got[0])
+	}
+	if got[0].Gap != 2 {
+		t.Errorf("store gap = %d, want 2 (two li before it)", got[0].Gap)
+	}
+	if got[1].Kind != trace.Read || got[1].Data != 7 {
+		t.Errorf("load access = %+v", got[1])
+	}
+	if got[1].Gap != 2 {
+		t.Errorf("load gap = %d, want 2 (two addi between)", got[1].Gap)
+	}
+}
+
+func TestMemsetKernel(t *testing.T) {
+	k := NewMemset(0x1000, 100, 42)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 100 {
+		t.Fatalf("memset emitted %d accesses, want 100", len(accs))
+	}
+	for i, a := range accs {
+		if a.Kind != trace.Write || a.Data != 42 {
+			t.Fatalf("access %d = %+v", i, a)
+		}
+		if a.Addr != 0x1000+uint64(i)*8 {
+			t.Fatalf("access %d addr = %#x", i, a.Addr)
+		}
+	}
+}
+
+func TestMemcpyKernel(t *testing.T) {
+	k := NewMemcpy(0x1000, 0x9000, 50)
+	m := NewMachine(k.Prog)
+	k.Setup(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		src := m.Mem.ReadWord(0x1000+uint64(i)*8, 8)
+		dst := m.Mem.ReadWord(0x9000+uint64(i)*8, 8)
+		if src != dst {
+			t.Fatalf("word %d: src %#x dst %#x", i, src, dst)
+		}
+		if src == 0 {
+			t.Fatalf("word %d: source not seeded", i)
+		}
+	}
+}
+
+func TestSaxpyKernelValues(t *testing.T) {
+	k := NewSaxpy(0x1000, 0x9000, 10, 3)
+	m := NewMachine(k.Prog)
+	k.Setup(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := 3 * uint64(i+1) // y started zero
+		if got := m.Mem.ReadWord(0x9000+uint64(i)*8, 8); got != want {
+			t.Fatalf("y[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSaxpyZeroIsAllSilent(t *testing.T) {
+	// a == 0 over zeroed y: every store rewrites zero.
+	k := NewSaxpy(0x1000, 0x9000, 64, 0)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		if a.Kind == trace.Write && a.Data != 0 {
+			t.Fatalf("non-silent store %+v", a)
+		}
+	}
+}
+
+func TestMatmulKernel(t *testing.T) {
+	const n = 6
+	aBase, bBase, cBase := uint64(0x1000), uint64(0x3000), uint64(0x5000)
+	k := NewMatmul(aBase, bBase, cBase, n)
+	m := NewMachine(k.Prog)
+	k.Setup(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Reference product from the seeded values.
+	at := func(base uint64, i, j int) uint64 {
+		return m.Mem.ReadWord(base+uint64(i*n+j)*8, 8)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want uint64
+			for kk := 0; kk < n; kk++ {
+				want += at(aBase, i, kk) * at(bBase, kk, j)
+			}
+			if got := at(cBase, i, j); got != want {
+				t.Fatalf("c[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPointerChaseKernel(t *testing.T) {
+	k := NewPointerChase(0x10000, 256, 1000)
+	accs, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 1000 {
+		t.Fatalf("chase emitted %d accesses, want 1000", len(accs))
+	}
+	// Dependent loads: every access is a read, and addresses revisit (the
+	// list is a cycle over 256 nodes).
+	seen := map[uint64]int{}
+	for _, a := range accs {
+		if a.Kind != trace.Read {
+			t.Fatal("chase emitted a write")
+		}
+		seen[a.Addr]++
+	}
+	if len(seen) != 256 {
+		t.Errorf("chase touched %d distinct nodes, want 256", len(seen))
+	}
+}
+
+func TestHistogramKernel(t *testing.T) {
+	k := NewHistogram(0x1000, 0x20000, 512, 16)
+	m := NewMachine(k.Prog)
+	k.Setup(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for b := 0; b < 16; b++ {
+		total += m.Mem.ReadWord(0x20000+uint64(b)*8, 8)
+	}
+	if total != 512 {
+		t.Fatalf("histogram counted %d items, want 512", total)
+	}
+}
+
+func TestKernelSuite(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			accs, err := k.Run(50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(accs) == 0 {
+				t.Fatal("kernel emitted no accesses")
+			}
+			for _, a := range accs {
+				if a.Size != 4 && a.Size != 8 {
+					t.Fatalf("bad access size %d", a.Size)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package sram
+
+import "fmt"
+
+// Area arithmetic for §5.4: the Set-Buffer and Tag-Buffer overheads relative
+// to the cache data array.
+
+// AreaReport summarizes the silicon cost of a cache plus the WG/WG+RB
+// additions at one technology node.
+type AreaReport struct {
+	NodeNm int
+	Cell   CellKind
+
+	CacheBits     int
+	SetBufferBits int
+	TagBufferBits int
+
+	CacheAreaUm2      float64
+	SetBufferAreaUm2  float64
+	TagBufferAreaUm2  float64
+	MuxCompareAreaUm2 float64
+}
+
+// SetBufferOverhead returns Set-Buffer area / cache area (paper: < 0.2%).
+func (r AreaReport) SetBufferOverhead() float64 {
+	if r.CacheAreaUm2 == 0 {
+		return 0
+	}
+	return r.SetBufferAreaUm2 / r.CacheAreaUm2
+}
+
+// TotalOverhead returns (Set-Buffer + Tag-Buffer + mux/comparator) area
+// relative to the cache array.
+func (r AreaReport) TotalOverhead() float64 {
+	if r.CacheAreaUm2 == 0 {
+		return 0
+	}
+	return (r.SetBufferAreaUm2 + r.TagBufferAreaUm2 + r.MuxCompareAreaUm2) / r.CacheAreaUm2
+}
+
+// ComputeArea builds the §5.4 report. cacheBits is the data-array capacity,
+// setBufferBits the size of one set row, tagBufferBits from
+// Geometry.TagBufferBits. Latch-based buffer bits are costed at 4x the SRAM
+// bit-cell area (a latch plus mux wiring is far larger than a 6T/8T cell);
+// comparators and the output mux are costed per compared/routed bit.
+func ComputeArea(cell CellKind, nodeNm, cacheBits, setBufferBits, tagBufferBits int) (AreaReport, error) {
+	if cacheBits <= 0 || setBufferBits <= 0 || tagBufferBits <= 0 {
+		return AreaReport{}, fmt.Errorf("sram: non-positive bit counts %d/%d/%d",
+			cacheBits, setBufferBits, tagBufferBits)
+	}
+	cellArea, err := cell.AreaUm2(nodeNm)
+	if err != nil {
+		return AreaReport{}, err
+	}
+	const (
+		latchFactor   = 4.0 // latch bit vs SRAM bit cell
+		compareFactor = 3.0 // XOR+tree per bit
+		muxFactor     = 1.5 // 2:1 output mux per routed bit
+	)
+	r := AreaReport{
+		NodeNm:        nodeNm,
+		Cell:          cell,
+		CacheBits:     cacheBits,
+		SetBufferBits: setBufferBits,
+		TagBufferBits: tagBufferBits,
+	}
+	r.CacheAreaUm2 = float64(cacheBits) * cellArea
+	r.SetBufferAreaUm2 = float64(setBufferBits) * cellArea * latchFactor
+	r.TagBufferAreaUm2 = float64(tagBufferBits) * cellArea * latchFactor
+	// Silent-write comparators across one set row plus the WG+RB output mux
+	// across one block's width.
+	r.MuxCompareAreaUm2 = float64(setBufferBits)*cellArea*compareFactor/4 +
+		float64(setBufferBits)*cellArea*muxFactor/4
+	return r, nil
+}

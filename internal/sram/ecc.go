@@ -1,0 +1,153 @@
+package sram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SEC-DED Hamming(72,64) code — the "simple and low cost one bit correction
+// technique" (§2, citing Kim et al.) that bit interleaving is designed to
+// keep sufficient: interleaving spreads a spatially clustered upset across
+// words so that each word sees at most one flipped bit, which SEC-DED
+// corrects. Without interleaving (the Chang et al. word-granularity
+// organization), a two-bit burst lands in one word and is only *detected*.
+//
+// Layout: the 64 data bits are numbered 0..63; check bits c0..c6 are the
+// classic Hamming parities over data-bit positions (using the 1-based
+// codeword numbering with powers of two reserved for checks), and c7 is the
+// overall parity that upgrades SEC to SEC-DED.
+
+// ECCWord is a data word with its check bits.
+type ECCWord struct {
+	Data  uint64
+	Check uint8
+}
+
+// hammingPositions[i] is the 1-based codeword position of data bit i: the
+// i-th non-power-of-two position.
+var hammingPositions = func() [64]uint32 {
+	var out [64]uint32
+	pos := uint32(1)
+	for i := 0; i < 64; {
+		pos++
+		if pos&(pos-1) == 0 { // power of two: check-bit slot
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}()
+
+// ECCEncode computes the SEC-DED check bits for data.
+func ECCEncode(data uint64) ECCWord {
+	var check uint8
+	for i := 0; i < 64; i++ {
+		if data>>i&1 == 0 {
+			continue
+		}
+		pos := hammingPositions[i]
+		for c := 0; c < 7; c++ {
+			if pos>>c&1 == 1 {
+				check ^= 1 << c
+			}
+		}
+	}
+	// Overall parity over data and the 7 Hamming checks.
+	parity := uint8(bits.OnesCount64(data)+bits.OnesCount8(check&0x7f)) & 1
+	check |= parity << 7
+	return ECCWord{Data: data, Check: check}
+}
+
+// ECCStatus classifies a decode outcome.
+type ECCStatus uint8
+
+const (
+	// ECCClean means no error was present.
+	ECCClean ECCStatus = iota
+	// ECCCorrected means a single-bit error was found and fixed.
+	ECCCorrected
+	// ECCDetected means an uncorrectable (double-bit) error was found.
+	ECCDetected
+)
+
+// String names the status.
+func (s ECCStatus) String() string {
+	switch s {
+	case ECCClean:
+		return "clean"
+	case ECCCorrected:
+		return "corrected"
+	case ECCDetected:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("ECCStatus(%d)", uint8(s))
+	}
+}
+
+// ECCDecode checks a stored word against its check bits, returning the
+// (possibly corrected) data and the outcome. Double-bit errors are detected
+// but the returned data is unreliable, as in real SEC-DED.
+func ECCDecode(w ECCWord) (uint64, ECCStatus) {
+	// Syndrome: recomputed Hamming checks vs stored checks. Overall
+	// parity: over the stored codeword (data + 7 checks + parity bit) —
+	// even for a clean word, odd for an odd number of flips.
+	syndrome := (ECCEncode(w.Data).Check ^ w.Check) & 0x7f
+	odd := (bits.OnesCount64(w.Data)+bits.OnesCount8(w.Check))&1 == 1
+	switch {
+	case syndrome == 0 && !odd:
+		return w.Data, ECCClean
+	case syndrome == 0 && odd:
+		// The overall parity bit itself flipped; data is intact.
+		return w.Data, ECCCorrected
+	case odd:
+		// Odd number of flips with a nonzero syndrome: single-bit error.
+		// If the syndrome names a data position, flip it back; if it names
+		// a check position, the data is already intact.
+		for i, pos := range hammingPositions {
+			if pos == uint32(syndrome) {
+				return w.Data ^ 1<<i, ECCCorrected
+			}
+		}
+		return w.Data, ECCCorrected
+	default:
+		// Nonzero syndrome with even overall parity: double-bit error.
+		return w.Data, ECCDetected
+	}
+}
+
+// InterleaveOutcome summarizes how an adjacent-bit burst lands on the words
+// of one physical row under a given interleaving degree.
+type InterleaveOutcome struct {
+	Interleave    int
+	BurstWidth    int
+	WordsHit      int
+	MaxBitsInWord int
+	// Correctable reports whether per-word SEC-DED survives: true iff no
+	// word took 2+ flips.
+	Correctable bool
+}
+
+// BurstImpact computes, analytically, how a burst of `width` physically
+// adjacent column flips distributes over interleaved words when bit i of
+// word w sits at column i*interleave+w (the BitArray layout). Column c
+// belongs to word c % interleave, so a burst of b adjacent columns hits
+// min(b, interleave) distinct words with ceil(b/interleave) flips in the
+// worst-hit word.
+func BurstImpact(interleave, width int) (InterleaveOutcome, error) {
+	if interleave < 1 || width < 1 {
+		return InterleaveOutcome{}, fmt.Errorf("sram: bad burst impact args %d/%d", interleave, width)
+	}
+	wordsHit := width
+	if wordsHit > interleave {
+		wordsHit = interleave
+	}
+	maxBits := (width + interleave - 1) / interleave
+	return InterleaveOutcome{
+		Interleave:    interleave,
+		BurstWidth:    width,
+		WordsHit:      wordsHit,
+		MaxBitsInWord: maxBits,
+		Correctable:   maxBits <= 1,
+	}, nil
+}

@@ -1,0 +1,188 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cache8t/internal/rng"
+)
+
+func TestECCCleanRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0), 0xdeadbeefcafebabe} {
+		w := ECCEncode(v)
+		got, status := ECCDecode(w)
+		if status != ECCClean || got != v {
+			t.Errorf("clean decode of %#x: got %#x status %v", v, got, status)
+		}
+	}
+}
+
+func TestECCCorrectsEverySingleDataBit(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	w := ECCEncode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupt := w
+		corrupt.Data ^= 1 << bit
+		got, status := ECCDecode(corrupt)
+		if status != ECCCorrected {
+			t.Fatalf("bit %d: status %v", bit, status)
+		}
+		if got != data {
+			t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, data)
+		}
+	}
+}
+
+func TestECCCorrectsCheckBitFlips(t *testing.T) {
+	data := uint64(0xfeedface)
+	w := ECCEncode(data)
+	for bit := 0; bit < 8; bit++ {
+		corrupt := w
+		corrupt.Check ^= 1 << bit
+		got, status := ECCDecode(corrupt)
+		if status != ECCCorrected {
+			t.Fatalf("check bit %d: status %v", bit, status)
+		}
+		if got != data {
+			t.Fatalf("check bit %d: data changed to %#x", bit, got)
+		}
+	}
+}
+
+func TestECCDetectsDoubleBitErrors(t *testing.T) {
+	data := uint64(0x5555aaaa5555aaaa)
+	w := ECCEncode(data)
+	r := rng.New(9)
+	for trial := 0; trial < 500; trial++ {
+		b1 := r.Intn(64)
+		b2 := r.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupt := w
+		corrupt.Data ^= 1<<b1 | 1<<b2
+		if _, status := ECCDecode(corrupt); status != ECCDetected {
+			t.Fatalf("double flip %d,%d: status %v", b1, b2, status)
+		}
+	}
+}
+
+func TestECCSingleBitProperty(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		w := ECCEncode(data)
+		w.Data ^= 1 << (bit % 64)
+		got, status := ECCDecode(w)
+		return status == ECCCorrected && got == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECCStatusString(t *testing.T) {
+	for _, s := range []ECCStatus{ECCClean, ECCCorrected, ECCDetected} {
+		if s.String() == "" {
+			t.Fatal("empty status name")
+		}
+	}
+	if ECCStatus(9).String() == "" {
+		t.Fatal("unknown status unnamed")
+	}
+}
+
+func TestBurstImpact(t *testing.T) {
+	// 4-way interleave absorbs any burst up to 4 adjacent bits.
+	for width := 1; width <= 4; width++ {
+		o, err := BurstImpact(4, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Correctable || o.MaxBitsInWord != 1 || o.WordsHit != width {
+			t.Errorf("interleave 4 width %d: %+v", width, o)
+		}
+	}
+	// Width 5 overflows into a second bit of one word.
+	o, _ := BurstImpact(4, 5)
+	if o.Correctable || o.MaxBitsInWord != 2 {
+		t.Errorf("interleave 4 width 5: %+v", o)
+	}
+	// Non-interleaved: any burst >= 2 is uncorrectable per word.
+	o, _ = BurstImpact(1, 2)
+	if o.Correctable || o.MaxBitsInWord != 2 || o.WordsHit != 1 {
+		t.Errorf("interleave 1 width 2: %+v", o)
+	}
+	if _, err := BurstImpact(0, 1); err == nil {
+		t.Error("bad interleave accepted")
+	}
+}
+
+// TestInterleaveEndToEndWithECC ties the pieces together: inject a physical
+// burst into a bit-level row, decode every word with SEC-DED, and confirm
+// the §2 story — interleaved rows recover fully, a non-interleaved row
+// detects but cannot correct.
+func TestInterleaveEndToEndWithECC(t *testing.T) {
+	writeWords := func(a *BitArray, row int, vals []uint64) {
+		t.Helper()
+		for w, v := range vals {
+			if err := a.ReadRowToLatches(row); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.WriteWordRMW(row, w, bitsOf(v, a.WordBits())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	toUint := func(bs []bool) uint64 {
+		var v uint64
+		for i, b := range bs {
+			if b {
+				v |= 1 << i
+			}
+		}
+		return v
+	}
+
+	// Interleaved: 4 words of 8 bits each; codes computed on the original
+	// values (check bits live in a parallel structure in real arrays).
+	il, _ := NewBitArray(smallBitConfig(EightT, 4), 1)
+	vals := []uint64{0x12, 0x34, 0x56, 0x78}
+	writeWords(il, 0, vals)
+	codes := make([]ECCWord, len(vals))
+	for i, v := range vals {
+		codes[i] = ECCEncode(v)
+	}
+	if _, err := il.InjectUpset(0, 12, 4); err != nil {
+		t.Fatal(err)
+	}
+	for w := range vals {
+		stored, _ := il.ReadWord(0, w)
+		code := codes[w]
+		code.Data = toUint(stored)
+		got, status := ECCDecode(code)
+		if status == ECCDetected {
+			t.Fatalf("interleaved word %d uncorrectable after 4-bit burst", w)
+		}
+		if got != vals[w] {
+			t.Fatalf("interleaved word %d decoded %#x, want %#x", w, got, vals[w])
+		}
+	}
+
+	// Non-interleaved: the same burst lands 4 bits deep in one word.
+	flat, _ := NewBitArray(smallBitConfig(EightT, 1), 1)
+	if err := flat.WriteWordUnsafe(0, 0, bitsOf(0x12345678, 32)); err != nil {
+		t.Fatal(err)
+	}
+	code := ECCEncode(0x12345678)
+	if _, err := flat.InjectUpset(0, 12, 4); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := flat.ReadWord(0, 0)
+	code.Data = toUint(stored)
+	got, status := ECCDecode(code)
+	// SEC-DED over a 4-bit burst may flag it, alias to clean, or
+	// mis-correct — but it can never recover the original value. That is
+	// the failure interleaving exists to prevent.
+	if got == 0x12345678 {
+		t.Fatalf("non-interleaved 4-bit burst recovered the data (status %v)", status)
+	}
+}

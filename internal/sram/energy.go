@@ -1,0 +1,158 @@
+package sram
+
+import "fmt"
+
+// EnergyModel prices array events in joules from a capacitance-based
+// analytical model in the spirit of CACTI: per-event switched capacitance is
+// derived from array geometry, and dynamic energy is C * Vdd^2 (full-swing
+// nets) or C * Vdd * Vswing (limited-swing bit lines).
+//
+// Absolute joules are calibration-grade, not sign-off-grade; what the
+// reproduction relies on is that relative costs are right — a row operation
+// is two to three orders of magnitude more expensive than a Set-Buffer latch
+// access, and RMW pays the read-phase bill on every write.
+type EnergyModel struct {
+	cfg ArrayConfig
+
+	// VddVolts is the supply voltage.
+	VddVolts float64
+	// SwingVolts is the read bit-line swing (sense amps fire well before a
+	// full-rail discharge).
+	SwingVolts float64
+
+	// Per-unit capacitances, farads. Defaults are representative of a 45 nm
+	// process (wire ~0.2 fF/um, cell pitch ~1 um, transistor caps ~0.1 fF).
+	CBitlinePerCell  float64 // drain + wire capacitance per cell on a bit line
+	CWordlinePerCell float64 // gate + wire capacitance per cell on a word line
+	CLatchPerBit     float64 // write-back latch / Set-Buffer storage per bit
+	CDriverPerBit    float64 // write driver output per bit
+	CComparePerBit   float64 // XOR-tree comparator input per bit
+
+	// LeakagePerCellWatts is static power per bit cell at VddVolts.
+	LeakagePerCellWatts float64
+}
+
+// NewEnergyModel returns an energy model for cfg at vdd with 45 nm-class
+// default capacitances.
+func NewEnergyModel(cfg ArrayConfig, vdd float64) (*EnergyModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if vdd <= 0 {
+		return nil, fmt.Errorf("sram: non-positive Vdd %v", vdd)
+	}
+	const fF = 1e-15
+	return &EnergyModel{
+		cfg:              cfg,
+		VddVolts:         vdd,
+		SwingVolts:       0.2 * vdd,
+		CBitlinePerCell:  0.30 * fF,
+		CWordlinePerCell: 0.25 * fF,
+		CLatchPerBit:     0.50 * fF,
+		CDriverPerBit:    0.80 * fF,
+		CComparePerBit:   0.40 * fF,
+		// ~10 pW/cell at nominal voltage, a 45 nm-class HVT figure.
+		LeakagePerCellWatts: 10e-12,
+	}, nil
+}
+
+// rowsPerBank returns the bit-line length in cells: arrays are broken into
+// sub-arrays precisely to cap this (§2).
+func (m *EnergyModel) rowsPerBank() float64 {
+	return float64(m.cfg.Rows) / float64(m.cfg.Subarrays)
+}
+
+// EventEnergy returns the dynamic energy of one occurrence of e, in joules.
+func (m *EnergyModel) EventEnergy(e Event) float64 {
+	v := m.VddVolts
+	cols := float64(m.cfg.Cols)
+	selCols := cols / float64(m.cfg.Interleave)
+	switch e {
+	case EvPrecharge:
+		// All RBLs pulled back to Vdd through the swing they lost.
+		return cols * m.CBitlinePerCell * m.rowsPerBank() * v * m.SwingVolts
+	case EvRowRead:
+		// RWL swings full rail across the row; on average half the cells
+		// discharge their RBL by the sense swing.
+		wl := cols * m.CWordlinePerCell * v * v
+		bl := 0.5 * cols * m.CBitlinePerCell * m.rowsPerBank() * v * m.SwingVolts
+		return wl + bl
+	case EvSense:
+		return cols * m.CLatchPerBit * v * v
+	case EvOutputMux:
+		return selCols * m.CDriverPerBit * v * v
+	case EvWritebackMux:
+		return cols * m.CDriverPerBit * v * v
+	case EvWriteDrive:
+		// WBL/WBLB are full-swing differential pairs.
+		return 2 * cols * m.CBitlinePerCell * m.rowsPerBank() * v * v * 0.5
+	case EvRowWrite:
+		wl := cols * m.CWordlinePerCell * v * v
+		// On average half the cells flip state.
+		flip := 0.5 * cols * m.CLatchPerBit * v * v
+		return wl + flip
+	case EvSetBufRead:
+		return selCols * m.CLatchPerBit * v * v
+	case EvSetBufWrite:
+		return selCols * (m.CLatchPerBit + m.CDriverPerBit) * v * v
+	case EvTagCompare:
+		// Comparator sized for one tag (~34 bits baseline); charge cols-
+		// independent, use a fixed 64-bit budget.
+		return 64 * m.CComparePerBit * v * v
+	case EvSilentCompare:
+		return selCols * m.CComparePerBit * v * v
+	default:
+		return 0
+	}
+}
+
+// DynamicEnergy returns the total dynamic energy of every event recorded in a.
+func (m *EnergyModel) DynamicEnergy(a *Array) float64 {
+	var total float64
+	for _, e := range Events() {
+		if n := a.Count(e); n > 0 {
+			total += float64(n) * m.EventEnergy(e)
+		}
+	}
+	return total
+}
+
+// LeakagePower returns static power of the whole array at the model voltage,
+// in watts. Sub-threshold leakage scales super-linearly with voltage; a
+// quadratic voltage dependence is a standard compact approximation over the
+// DVFS range.
+func (m *EnergyModel) LeakagePower() float64 {
+	ratio := m.VddVolts / 1.0
+	return float64(m.cfg.Bits()) * m.LeakagePerCellWatts * ratio * ratio
+}
+
+// ReadEnergy returns the dynamic energy of one full read access.
+func (m *EnergyModel) ReadEnergy() float64 {
+	return m.EventEnergy(EvPrecharge) + m.EventEnergy(EvRowRead) +
+		m.EventEnergy(EvSense) + m.EventEnergy(EvOutputMux)
+}
+
+// RMWEnergy returns the dynamic energy of one read-modify-write.
+func (m *EnergyModel) RMWEnergy() float64 {
+	return m.EventEnergy(EvPrecharge) + m.EventEnergy(EvRowRead) +
+		m.EventEnergy(EvSense) + m.EventEnergy(EvWritebackMux) +
+		m.EventEnergy(EvWriteDrive) + m.EventEnergy(EvRowWrite)
+}
+
+// SetBufferEnergy returns the dynamic energy of one Set-Buffer access (the
+// thing WG+RB substitutes for array reads; "a smaller and hence more power
+// efficient structure", §5.5).
+func (m *EnergyModel) SetBufferEnergy() float64 {
+	return m.EventEnergy(EvSetBufRead)
+}
+
+// AtVoltage returns a copy of the model rescaled to a new supply voltage.
+func (m *EnergyModel) AtVoltage(vdd float64) (*EnergyModel, error) {
+	if vdd <= 0 {
+		return nil, fmt.Errorf("sram: non-positive Vdd %v", vdd)
+	}
+	out := *m
+	out.VddVolts = vdd
+	out.SwingVolts = 0.2 * vdd
+	return &out, nil
+}

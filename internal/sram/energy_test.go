@@ -1,0 +1,121 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+func newModel(t *testing.T) *EnergyModel {
+	t.Helper()
+	m, err := NewEnergyModel(baseConfig(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewEnergyModelValidation(t *testing.T) {
+	if _, err := NewEnergyModel(ArrayConfig{}, 1.0); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewEnergyModel(baseConfig(), 0); err == nil {
+		t.Fatal("zero Vdd accepted")
+	}
+}
+
+func TestEventEnergiesPositive(t *testing.T) {
+	m := newModel(t)
+	for _, e := range Events() {
+		if en := m.EventEnergy(e); en <= 0 || math.IsNaN(en) {
+			t.Errorf("event %v energy = %v", e, en)
+		}
+	}
+}
+
+func TestRelativeCosts(t *testing.T) {
+	m := newModel(t)
+	// RMW must cost more than a read (it is a read phase plus a write).
+	if m.RMWEnergy() <= m.ReadEnergy() {
+		t.Errorf("RMW %.3e <= read %.3e", m.RMWEnergy(), m.ReadEnergy())
+	}
+	// The Set-Buffer must be far cheaper than an array read — this is the
+	// §5.5 power argument for WG+RB.
+	if ratio := m.SetBufferEnergy() / m.ReadEnergy(); ratio > 0.05 {
+		t.Errorf("Set-Buffer / read energy = %.3f, want < 0.05", ratio)
+	}
+	// A row operation dominates a tag compare.
+	if m.EventEnergy(EvTagCompare) >= m.EventEnergy(EvRowRead) {
+		t.Error("tag compare costs as much as a row read")
+	}
+}
+
+func TestDynamicEnergyAccumulates(t *testing.T) {
+	m := newModel(t)
+	a, _ := NewArray(baseConfig())
+	if m.DynamicEnergy(a) != 0 {
+		t.Fatal("fresh array has nonzero energy")
+	}
+	a.ReadAccess()
+	one := m.DynamicEnergy(a)
+	if math.Abs(one-m.ReadEnergy()) > 1e-20 {
+		t.Fatalf("one read = %.3e, ReadEnergy = %.3e", one, m.ReadEnergy())
+	}
+	a.ReadAccess()
+	if two := m.DynamicEnergy(a); math.Abs(two-2*one) > 1e-20 {
+		t.Fatalf("two reads = %.3e, want %.3e", two, 2*one)
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	m := newModel(t)
+	low, err := m.AtVoltage(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-swing events scale as V^2.
+	hi := m.EventEnergy(EvRowWrite)
+	lo := low.EventEnergy(EvRowWrite)
+	if math.Abs(lo/hi-0.25) > 1e-9 {
+		t.Errorf("row-write energy scaled by %.4f, want 0.25", lo/hi)
+	}
+	if _, err := m.AtVoltage(-1); err == nil {
+		t.Fatal("negative voltage accepted")
+	}
+}
+
+func TestLeakageScalesWithBitsAndVoltage(t *testing.T) {
+	m := newModel(t)
+	p1 := m.LeakagePower()
+	if p1 <= 0 {
+		t.Fatal("non-positive leakage")
+	}
+	small := baseConfig()
+	small.Rows /= 2
+	ms, _ := NewEnergyModel(small, 1.0)
+	if math.Abs(ms.LeakagePower()/p1-0.5) > 1e-9 {
+		t.Errorf("leakage should halve with half the bits")
+	}
+	low, _ := m.AtVoltage(0.5)
+	if low.LeakagePower() >= p1 {
+		t.Error("leakage did not drop with voltage")
+	}
+}
+
+func TestSubarraysShortenBitlines(t *testing.T) {
+	flat := baseConfig()
+	flat.Subarrays = 1
+	banked := baseConfig()
+	banked.Subarrays = 8
+	mf, _ := NewEnergyModel(flat, 1.0)
+	mb, _ := NewEnergyModel(banked, 1.0)
+	if mb.ReadEnergy() >= mf.ReadEnergy() {
+		t.Errorf("banked read %.3e >= flat read %.3e; sub-arrays should cut bit-line energy",
+			mb.ReadEnergy(), mf.ReadEnergy())
+	}
+}
+
+func TestEnergyPerOpAt(t *testing.T) {
+	if got := EnergyPerOpAt(4.0, 1.0, 0.5); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("EnergyPerOpAt = %v, want 1.0", got)
+	}
+}

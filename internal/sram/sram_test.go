@@ -1,0 +1,189 @@
+package sram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCellBasics(t *testing.T) {
+	if SixT.Transistors() != 6 || EightT.Transistors() != 8 {
+		t.Fatal("transistor counts wrong")
+	}
+	if SixT.String() != "6T" || EightT.String() != "8T" {
+		t.Fatal("cell names wrong")
+	}
+	if !strings.HasPrefix(CellKind(5).String(), "CellKind") {
+		t.Fatal("unknown cell name")
+	}
+	if SixT.ReadPorts() != 0 || EightT.ReadPorts() != 1 {
+		t.Fatal("port counts wrong")
+	}
+}
+
+func TestVminOrdering(t *testing.T) {
+	// The entire point of 8T: it operates far below the 6T floor.
+	if EightT.VminVolts() >= SixT.VminVolts() {
+		t.Fatalf("8T Vmin %.2f not below 6T Vmin %.2f", EightT.VminVolts(), SixT.VminVolts())
+	}
+}
+
+func TestCellAreaTrend(t *testing.T) {
+	// 8T pays an area premium at 65 nm but is "more compact in technology
+	// nodes beyond 45nm" (§2, citing Morita et al.).
+	r65, err := AreaRatio(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r22, err := AreaRatio(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r65 <= 1.0 {
+		t.Errorf("65nm ratio %.3f should show an 8T premium", r65)
+	}
+	if r22 >= 1.0 {
+		t.Errorf("22nm ratio %.3f should show 8T more compact", r22)
+	}
+	if r22 >= r65 {
+		t.Errorf("ratio should shrink with scaling: 65nm %.3f, 22nm %.3f", r65, r22)
+	}
+}
+
+func TestCellAreaUnknownNode(t *testing.T) {
+	if _, err := SixT.AreaUm2(90); err == nil {
+		t.Fatal("90nm accepted")
+	}
+	if _, err := AreaRatio(14); err == nil {
+		t.Fatal("14nm accepted")
+	}
+}
+
+func baseConfig() ArrayConfig {
+	// 64 KB cache as one logical mat: 512 rows (sets) x 1024 bits
+	// (4 ways x 32 B), 4-way bit interleaving, 4 subarrays.
+	return ArrayConfig{Cell: EightT, Rows: 512, Cols: 1024, Interleave: 4, Subarrays: 4}
+}
+
+func TestArrayConfigValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ArrayConfig{
+		{Cell: EightT, Rows: 0, Cols: 8, Interleave: 1, Subarrays: 1},
+		{Cell: EightT, Rows: 8, Cols: 0, Interleave: 1, Subarrays: 1},
+		{Cell: EightT, Rows: 8, Cols: 8, Interleave: 0, Subarrays: 1},
+		{Cell: EightT, Rows: 8, Cols: 8, Interleave: 1, Subarrays: 0},
+		{Cell: EightT, Rows: 8, Cols: 9, Interleave: 2, Subarrays: 1},
+		{Cell: EightT, Rows: 9, Cols: 8, Interleave: 1, Subarrays: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNeedsRMW(t *testing.T) {
+	cfg := baseConfig()
+	if !cfg.NeedsRMW() {
+		t.Fatal("interleaved 8T array should need RMW")
+	}
+	cfg.Cell = SixT
+	if cfg.NeedsRMW() {
+		t.Fatal("6T array should not need RMW")
+	}
+	cfg.Cell = EightT
+	cfg.Interleave = 1
+	if cfg.NeedsRMW() {
+		t.Fatal("non-interleaved 8T (Chang word-granularity) should not need RMW")
+	}
+}
+
+func TestReadAccessEventSequence(t *testing.T) {
+	a, err := NewArray(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ReadAccess()
+	for _, e := range []Event{EvPrecharge, EvRowRead, EvSense, EvOutputMux} {
+		if a.Count(e) != 1 {
+			t.Errorf("read access: %v count = %d", e, a.Count(e))
+		}
+	}
+	if a.Count(EvRowWrite) != 0 {
+		t.Error("read access fired a row write")
+	}
+	if a.ArrayAccesses() != 1 {
+		t.Errorf("ArrayAccesses = %d", a.ArrayAccesses())
+	}
+}
+
+func TestRMWEventSequence(t *testing.T) {
+	a, _ := NewArray(baseConfig())
+	a.RMW()
+	// The read phase must NOT route data out (§2: "multiplexers do not
+	// route data to the output").
+	if a.Count(EvOutputMux) != 0 {
+		t.Error("RMW read phase fired the output mux")
+	}
+	for _, e := range []Event{EvPrecharge, EvRowRead, EvSense, EvWritebackMux, EvWriteDrive, EvRowWrite} {
+		if a.Count(e) != 1 {
+			t.Errorf("RMW: %v count = %d", e, a.Count(e))
+		}
+	}
+	// RMW is 2 array accesses — the paper's cost model for a write.
+	if a.ArrayAccesses() != 2 {
+		t.Errorf("RMW ArrayAccesses = %d, want 2", a.ArrayAccesses())
+	}
+	if a.ReadPortBusy() != 1 || a.WritePortBusy() != 1 {
+		t.Error("RMW should occupy both ports")
+	}
+}
+
+func TestDirectWriteIsOneAccess(t *testing.T) {
+	a, _ := NewArray(baseConfig())
+	a.DirectWrite()
+	if a.ArrayAccesses() != 1 {
+		t.Errorf("DirectWrite ArrayAccesses = %d, want 1", a.ArrayAccesses())
+	}
+	if a.ReadPortBusy() != 0 {
+		t.Error("DirectWrite occupied the read port")
+	}
+}
+
+func TestArrayResetAndRecord(t *testing.T) {
+	a, _ := NewArray(baseConfig())
+	a.Record(EvTagCompare, 10)
+	if a.Count(EvTagCompare) != 10 {
+		t.Fatal("Record/Count mismatch")
+	}
+	a.Reset()
+	for _, e := range Events() {
+		if a.Count(e) != 0 {
+			t.Fatalf("Reset left %v = %d", e, a.Count(e))
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Events() {
+		s := e.String()
+		if s == "" || strings.HasPrefix(s, "Event(") {
+			t.Errorf("event %d has no name", e)
+		}
+		if seen[s] {
+			t.Errorf("duplicate event name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Event(200).String(), "Event(") {
+		t.Error("out-of-range event name")
+	}
+}
+
+func TestNewArrayRejectsInvalid(t *testing.T) {
+	if _, err := NewArray(ArrayConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

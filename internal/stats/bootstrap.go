@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"cache8t/internal/rng"
+)
+
+// CI is a bootstrap confidence interval for a mean.
+type CI struct {
+	Mean  float64
+	Low   float64
+	High  float64
+	Level float64 // e.g. 0.95
+}
+
+// String renders like "27.3% [26.1%, 28.4%] @95%".
+func (c CI) String() string {
+	return fmt.Sprintf("%.1f%% [%.1f%%, %.1f%%] @%.0f%%",
+		c.Mean*100, c.Low*100, c.High*100, c.Level*100)
+}
+
+// BootstrapMeanCI computes a percentile-bootstrap confidence interval for
+// the mean of xs: resamples datasets of the same size with replacement and
+// takes the (1-level)/2 quantiles of the resampled means. Deterministic in
+// seed. Used by EXPERIMENTS.md to say how tight the 25-benchmark means are.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, seed uint64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, fmt.Errorf("stats: empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if resamples < 10 {
+		return CI{}, fmt.Errorf("stats: need at least 10 resamples, got %d", resamples)
+	}
+	r := rng.New(seed)
+	means := make([]float64, resamples)
+	for i := range means {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return CI{Mean: Mean(xs), Low: means[lo], High: means[hi], Level: level}, nil
+}

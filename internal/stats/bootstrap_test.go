@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0, 100, 1); err == nil {
+		t.Error("zero level accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 5, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+}
+
+func TestBootstrapBracketsMean(t *testing.T) {
+	xs := []float64{0.25, 0.27, 0.29, 0.31, 0.26, 0.33, 0.24, 0.28, 0.30, 0.27}
+	ci, err := BootstrapMeanCI(xs, 0.95, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Low <= ci.Mean && ci.Mean <= ci.High) {
+		t.Fatalf("interval does not bracket the mean: %+v", ci)
+	}
+	if ci.High-ci.Low <= 0 {
+		t.Fatal("degenerate interval")
+	}
+	// For this spread the 95% CI stays within a couple of points.
+	if ci.High-ci.Low > 0.05 {
+		t.Errorf("interval suspiciously wide: %+v", ci)
+	}
+}
+
+func TestBootstrapConstantSample(t *testing.T) {
+	xs := []float64{0.4, 0.4, 0.4, 0.4}
+	ci, err := BootstrapMeanCI(xs, 0.95, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Low != 0.4 || ci.High != 0.4 || ci.Mean != 0.4 {
+		t.Fatalf("constant sample CI = %+v", ci)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	a, _ := BootstrapMeanCI(xs, 0.9, 500, 42)
+	b, _ := BootstrapMeanCI(xs, 0.9, 500, 42)
+	if a != b {
+		t.Fatal("same seed gave different intervals")
+	}
+}
+
+func TestCIString(t *testing.T) {
+	ci := CI{Mean: 0.273, Low: 0.261, High: 0.284, Level: 0.95}
+	s := ci.String()
+	for _, want := range []string{"27.3%", "26.1%", "28.4%", "95%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CI string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package timing
+
+import (
+	"fmt"
+
+	"cache8t/internal/core"
+)
+
+// SimulateBanked is the sub-array-aware variant of Simulate, modeling Park
+// et al.'s local write-back (§2): the array is split into banks with
+// per-bank ports, so a write-path row operation only blocks requests that
+// target the *same* bank. With localWriteback=false it degenerates to a
+// single global port pair per operation type (the plain RMW organization,
+// where the shared write-back drivers at the bottom of the global RBLs
+// serialize everything).
+func SimulateBanked(ops []core.PortOp, params Params, banks int, localWriteback bool) (SimReport, error) {
+	if err := params.Validate(); err != nil {
+		return SimReport{}, err
+	}
+	if banks < 1 {
+		return SimReport{}, fmt.Errorf("timing: banks %d < 1", banks)
+	}
+	var rep SimReport
+	var now uint64
+	readFree := make([]uint64, banks)
+	writeFree := make([]uint64, banks)
+	var globalReadFree, globalWriteFree uint64
+	var readLatencySum uint64
+	var reads uint64
+
+	for _, op := range ops {
+		now += uint64(op.Gap)
+		rep.Instructions += uint64(op.Gap) + 1
+		issue := now
+		now++
+
+		bank := int(op.Bank) % banks
+		start := issue
+		if op.ReadRows > 0 {
+			if localWriteback {
+				if readFree[bank] > start {
+					start = readFree[bank]
+				}
+			} else if globalReadFree > start {
+				start = globalReadFree
+			}
+		}
+		if op.WriteRows > 0 {
+			if localWriteback {
+				if writeFree[bank] > start {
+					start = writeFree[bank]
+				}
+			} else if globalWriteFree > start {
+				start = globalWriteFree
+			}
+		}
+		if start > issue {
+			rep.PortConflictCycles += start - issue
+		}
+		if op.ReadRows > 0 {
+			end := start + uint64(op.ReadRows)
+			if localWriteback {
+				readFree[bank] = end
+			} else {
+				globalReadFree = end
+			}
+		}
+		if op.WriteRows > 0 {
+			end := start + uint64(op.ReadRows) + uint64(op.WriteRows)
+			if localWriteback {
+				writeFree[bank] = end
+			} else {
+				globalWriteFree = end
+			}
+		}
+
+		if op.IsRead {
+			reads++
+			var done uint64
+			switch {
+			case op.ReadRows > 0:
+				done = start + uint64(params.ArrayReadLatency)
+			case op.SetBufOps > 0:
+				done = issue + uint64(params.SetBufLatency)
+			default:
+				done = issue + 1
+			}
+			readLatencySum += done - issue
+			if done > now {
+				rep.ReadStallCycles += done - now
+				now = done
+			}
+		}
+	}
+	rep.Cycles = now
+	if rep.Cycles < rep.Instructions {
+		rep.Cycles = rep.Instructions
+	}
+	if reads > 0 {
+		rep.AvgReadLatency = float64(readLatencySum) / float64(reads)
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package timing
+
+import (
+	"cache8t/internal/core"
+)
+
+// SimReport is the outcome of the cycle-accurate port simulation — the
+// discrete counterpart of the analytic Report, with the same CPI semantics.
+type SimReport struct {
+	Instructions uint64
+	Cycles       uint64
+	// ReadStallCycles counts cycles the core waited on read data beyond
+	// the issue cycle.
+	ReadStallCycles uint64
+	// PortConflictCycles counts cycles requests waited for a busy port.
+	PortConflictCycles uint64
+	// AvgReadLatency is issue-to-data for demand reads, in cycles.
+	AvgReadLatency float64
+}
+
+// CPI returns simulated cycles per instruction.
+func (r SimReport) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// Simulate replays a request-level operation log cycle by cycle against the
+// 8T array's two ports.
+//
+// Machine model (deliberately simple and fully deterministic):
+//
+//   - An in-order core issues one instruction per cycle; the Gap preceding
+//     each request advances time by that many cycles.
+//   - The array has one read port and one write port (the 8T property).
+//     Each row read holds the read port for one cycle; each row write holds
+//     the write port for one cycle. A request needing both (an RMW) runs
+//     its read phase first, then its write phase — during which time both
+//     ports are serially occupied, which is exactly why RMW "makes
+//     servicing one read and one write operation simultaneously
+//     impossible" (§2).
+//   - Demand reads block the core until data returns: port wait + access
+//     latency (ArrayReadLatency for the array, SetBufLatency from the
+//     Set-Buffer). Writes retire through a store buffer: the core moves on
+//     after the issue cycle while the ports stay reserved.
+func Simulate(ops []core.PortOp, params Params) (SimReport, error) {
+	if err := params.Validate(); err != nil {
+		return SimReport{}, err
+	}
+	var rep SimReport
+	var now uint64 // core clock
+	var readFree, writeFree uint64
+	var readLatencySum uint64
+	var reads uint64
+
+	for _, op := range ops {
+		now += uint64(op.Gap) // non-memory instructions
+		rep.Instructions += uint64(op.Gap) + 1
+		issue := now
+		now++ // the memory instruction's own issue cycle
+
+		// Port acquisition for the array work this request needs.
+		start := issue
+		if op.ReadRows > 0 && readFree > start {
+			start = readFree
+		}
+		if op.WriteRows > 0 && writeFree > start {
+			start = writeFree
+		}
+		if start > issue {
+			rep.PortConflictCycles += start - issue
+		}
+		if op.ReadRows > 0 {
+			readFree = start + uint64(op.ReadRows)
+		}
+		if op.WriteRows > 0 {
+			// Write phases follow any read phase of the same request.
+			writeFree = start + uint64(op.ReadRows) + uint64(op.WriteRows)
+		}
+
+		if op.IsRead {
+			reads++
+			var done uint64
+			switch {
+			case op.ReadRows > 0:
+				done = start + uint64(params.ArrayReadLatency)
+			case op.SetBufOps > 0:
+				done = issue + uint64(params.SetBufLatency)
+			default:
+				done = issue + 1
+			}
+			lat := done - issue
+			readLatencySum += lat
+			if done > now {
+				rep.ReadStallCycles += done - now
+				now = done
+			}
+		}
+		// Writes: the core does not wait; ports stay reserved via
+		// readFree/writeFree.
+	}
+	rep.Cycles = now
+	if rep.Cycles < rep.Instructions {
+		rep.Cycles = rep.Instructions
+	}
+	if reads > 0 {
+		rep.AvgReadLatency = float64(readLatencySum) / float64(reads)
+	}
+	return rep, nil
+}

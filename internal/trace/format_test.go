@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in []Access) []Access {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, FromSlice(in), 0)
+	if err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	if n != uint64(len(in)) {
+		t.Fatalf("wrote %d, want %d", n, len(in))
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	in := []Access{
+		{Kind: Read, Addr: 0x1000, Size: 4, Data: 42, Gap: 3},
+		{Kind: Write, Addr: 0x1004, Size: 4, Data: 0xffffffffffffffff, Gap: 0},
+		{Kind: Write, Addr: 0x800, Size: 8, Data: 7, Gap: 1000},
+		{Kind: Read, Addr: 0, Size: 1, Data: 0, Gap: 0},
+		{Kind: Read, Addr: 1 << 47, Size: 2, Data: 1, Gap: 12},
+	}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("got %d accesses, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("access %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	out := roundTrip(t, nil)
+	if len(out) != 0 {
+		t.Fatalf("empty trace decoded to %d accesses", len(out))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(raw []struct {
+		Addr uint64
+		Data uint64
+		Gap  uint32
+		Sel  uint8
+	}) bool {
+		in := make([]Access, len(raw))
+		for i, r := range raw {
+			in[i] = Access{
+				Kind: Kind(r.Sel & 1),
+				Size: sizes[(r.Sel>>1)&3],
+				Addr: r.Addr,
+				Data: r.Data,
+				Gap:  r.Gap,
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, FromSlice(in), 0); err != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsBadSize(t *testing.T) {
+	tw := NewWriter(&bytes.Buffer{})
+	if err := tw.Write(Access{Size: 3}); err == nil {
+		t.Fatal("size 3 accepted")
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader([]byte("NOPE!")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	_, err = ReadAll(bytes.NewReader(nil))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty input err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	data := append(append([]byte{}, magic[:]...), 99)
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice([]Access{{Size: 4, Addr: 0x123456789, Gap: 5, Data: 9}}), 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-record (after header+head byte, inside the varints).
+	_, err := ReadAll(bytes.NewReader(full[:len(full)-1]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFlushOnlyHeaderIsValidEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 1 << 40, -(1 << 40), -9e18} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Errorf("zigzag round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestSequentialCompression(t *testing.T) {
+	// A sequential 4-byte stride stream should compress well below the
+	// naive 22-byte record encoding: this guards the delta encoding.
+	var in []Access
+	for i := 0; i < 1000; i++ {
+		in = append(in, Access{Kind: Read, Size: 4, Addr: 0x10000 + uint64(4*i), Gap: 2, Data: 1})
+	}
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(in), 0); err != nil {
+		t.Fatal(err)
+	}
+	if perRec := float64(buf.Len()) / 1000; perRec > 6 {
+		t.Errorf("sequential encoding uses %.1f bytes/record, want <= 6", perRec)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	accesses := make([]Access, 4096)
+	for i := range accesses {
+		accesses[i] = Access{Kind: Kind(i & 1), Size: 4, Addr: uint64(i * 64), Gap: 3, Data: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, FromSlice(accesses), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReader(b *testing.B) {
+	accesses := make([]Access, 4096)
+	for i := range accesses {
+		accesses[i] = Access{Kind: Kind(i & 1), Size: 4, Addr: uint64(i * 64), Gap: 3, Data: uint64(i)}
+	}
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(accesses), 0); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, and whatever decodes must re-encode to something that decodes to
+// the same accesses (decode/encode/decode fixpoint).
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := WriteAll(&seed, FromSlice(sampleAccesses(16)), 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("C8TT\x01"))
+	f.Add([]byte("C8TT\x01\x00\x00\x00\x00"))
+	f.Add([]byte{0x1f, 0x8b})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, FromSlice(first), 0); err != nil {
+			// Decoded accesses always carry valid sizes; re-encode cannot
+			// fail.
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		second, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("fixpoint length %d != %d", len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("fixpoint mismatch at %d", i)
+			}
+		}
+	})
+}

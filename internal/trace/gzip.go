@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"strings"
+)
+
+// Gzip framing for trace files: traces compress extremely well (delta
+// encoding leaves mostly small varints), so the CLIs write .c8tt.gz when
+// asked and auto-detect on read.
+
+// gzipMagic is the two-byte gzip header.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// IsGzipPath reports whether a file name asks for gzip framing.
+func IsGzipPath(path string) bool {
+	return strings.HasSuffix(path, ".gz") || strings.HasSuffix(path, ".gzip")
+}
+
+// GzWriter wraps a Writer whose output is gzip-compressed. Close flushes
+// both layers.
+type GzWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// NewGzWriter returns a trace writer that gzip-compresses its output.
+func NewGzWriter(w io.Writer) *GzWriter {
+	gz := gzip.NewWriter(w)
+	return &GzWriter{Writer: NewWriter(gz), gz: gz}
+}
+
+// Close flushes the trace encoding and terminates the gzip stream.
+func (g *GzWriter) Close() error {
+	if err := g.Flush(); err != nil {
+		return err
+	}
+	return g.gz.Close()
+}
+
+// NewAutoReader returns a Reader over r, transparently unwrapping a gzip
+// layer if one is present.
+func NewAutoReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err == nil && len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewReader(gz), nil
+	}
+	// Not gzip (or too short to tell): decode as a plain trace; header
+	// validation happens on the first Next.
+	return NewReader(br), nil
+}
+
+// WriteAllAuto encodes a stream like WriteAll, gzip-compressing when
+// compress is true.
+func WriteAllAuto(w io.Writer, s Stream, max int, compress bool) (uint64, error) {
+	if !compress {
+		return WriteAll(w, s, max)
+	}
+	gw := NewGzWriter(w)
+	n := 0
+	for max <= 0 || n < max {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := gw.Write(a); err != nil {
+			return gw.Count(), err
+		}
+		n++
+	}
+	return gw.Count(), gw.Close()
+}
+
+// ReadAllAuto decodes an entire trace, auto-detecting gzip framing.
+func ReadAllAuto(r io.Reader) ([]Access, error) {
+	tr, err := NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Access
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out, tr.Err()
+}

@@ -1,0 +1,127 @@
+package trace
+
+// Stream transformers: small composable adapters used by tools and tests to
+// reshape request streams without materializing them.
+
+// Filter yields only the accesses pred accepts.
+type Filter struct {
+	inner Stream
+	pred  func(Access) bool
+}
+
+// NewFilter returns a filtering stream. Dropped accesses fold their
+// instruction counts into the next surviving access's Gap, so
+// per-instruction statistics stay meaningful.
+func NewFilter(inner Stream, pred func(Access) bool) *Filter {
+	return &Filter{inner: inner, pred: pred}
+}
+
+// Next returns the next accepted access.
+func (f *Filter) Next() (Access, bool) {
+	var carried uint64
+	for {
+		a, ok := f.inner.Next()
+		if !ok {
+			return Access{}, false
+		}
+		if f.pred(a) {
+			gap := carried + uint64(a.Gap)
+			if gap > 1<<32-1 {
+				gap = 1<<32 - 1
+			}
+			a.Gap = uint32(gap)
+			return a, true
+		}
+		carried += a.Instructions()
+	}
+}
+
+// OnlyReads keeps loads.
+func OnlyReads(inner Stream) *Filter {
+	return NewFilter(inner, func(a Access) bool { return a.Kind == Read })
+}
+
+// OnlyWrites keeps stores.
+func OnlyWrites(inner Stream) *Filter {
+	return NewFilter(inner, func(a Access) bool { return a.Kind == Write })
+}
+
+// Remap applies an address transformation to every access.
+type Remap struct {
+	inner Stream
+	fn    func(uint64) uint64
+}
+
+// NewRemap returns a stream with fn applied to every address. Useful for
+// relocating a trace into a different region or stressing set aliasing.
+func NewRemap(inner Stream, fn func(uint64) uint64) *Remap {
+	return &Remap{inner: inner, fn: fn}
+}
+
+// Next returns the next remapped access.
+func (m *Remap) Next() (Access, bool) {
+	a, ok := m.inner.Next()
+	if !ok {
+		return Access{}, false
+	}
+	a.Addr = m.fn(a.Addr)
+	return a, true
+}
+
+// Offset shifts every address by delta (wrapping uint64 arithmetic).
+func Offset(inner Stream, delta uint64) *Remap {
+	return NewRemap(inner, func(addr uint64) uint64 { return addr + delta })
+}
+
+// Concat plays streams back to back.
+type Concat struct {
+	streams []Stream
+	idx     int
+}
+
+// NewConcat returns the concatenation of streams.
+func NewConcat(streams ...Stream) *Concat {
+	return &Concat{streams: streams}
+}
+
+// Next returns the next access from the first non-exhausted stream.
+func (c *Concat) Next() (Access, bool) {
+	for c.idx < len(c.streams) {
+		if a, ok := c.streams[c.idx].Next(); ok {
+			return a, true
+		}
+		c.idx++
+	}
+	return Access{}, false
+}
+
+// Interleave alternates accesses from several streams round-robin, one per
+// turn, skipping exhausted members until all are drained.
+type Interleave struct {
+	streams []Stream
+	done    []bool
+	turn    int
+	left    int
+}
+
+// NewInterleave returns a round-robin interleaving of streams.
+func NewInterleave(streams ...Stream) *Interleave {
+	return &Interleave{streams: streams, done: make([]bool, len(streams)), left: len(streams)}
+}
+
+// Next returns the next access in round-robin order.
+func (iv *Interleave) Next() (Access, bool) {
+	for iv.left > 0 {
+		i := iv.turn
+		iv.turn = (iv.turn + 1) % len(iv.streams)
+		if iv.done[i] {
+			continue
+		}
+		if a, ok := iv.streams[i].Next(); ok {
+			return a, true
+		}
+		iv.done[i] = true
+		iv.left--
+	}
+	return Access{}, false
+}

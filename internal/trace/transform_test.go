@@ -1,0 +1,83 @@
+package trace
+
+import "testing"
+
+func TestFilterFoldsGaps(t *testing.T) {
+	in := []Access{
+		{Kind: Read, Gap: 2, Size: 4},  // dropped: 3 instructions
+		{Kind: Write, Gap: 1, Size: 4}, // kept: gap becomes 1 + 3
+		{Kind: Write, Gap: 0, Size: 4}, // kept
+		{Kind: Read, Gap: 5, Size: 4},  // dropped: 6 instructions
+	}
+	got := Collect(OnlyWrites(FromSlice(in)), 0)
+	if len(got) != 2 {
+		t.Fatalf("kept %d accesses", len(got))
+	}
+	if got[0].Gap != 4 {
+		t.Errorf("first gap = %d, want 4 (1 + dropped 3)", got[0].Gap)
+	}
+	if got[1].Gap != 0 {
+		t.Errorf("second gap = %d", got[1].Gap)
+	}
+	// Instruction totals are preserved minus the dropped tail.
+	var st Stats
+	for _, a := range got {
+		st.Observe(a)
+	}
+	if st.Instructions != 6 { // 3 dropped + kept 2 + trailing drop lost
+		t.Errorf("instructions = %d, want 6", st.Instructions)
+	}
+}
+
+func TestOnlyReads(t *testing.T) {
+	in := []Access{{Kind: Read, Size: 4}, {Kind: Write, Size: 4}, {Kind: Read, Size: 4}}
+	got := Collect(OnlyReads(FromSlice(in)), 0)
+	if len(got) != 2 {
+		t.Fatalf("kept %d", len(got))
+	}
+	for _, a := range got {
+		if a.Kind != Read {
+			t.Fatal("write leaked through OnlyReads")
+		}
+	}
+}
+
+func TestOffsetRemap(t *testing.T) {
+	in := []Access{{Addr: 0x100, Size: 4}, {Addr: 0x200, Size: 4}}
+	got := Collect(Offset(FromSlice(in), 0x1000), 0)
+	if got[0].Addr != 0x1100 || got[1].Addr != 0x1200 {
+		t.Fatalf("remapped addrs %#x %#x", got[0].Addr, got[1].Addr)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromSlice([]Access{{Addr: 1, Size: 4}})
+	b := FromSlice(nil)
+	c := FromSlice([]Access{{Addr: 2, Size: 4}, {Addr: 3, Size: 4}})
+	got := Collect(NewConcat(a, b, c), 0)
+	if len(got) != 3 || got[0].Addr != 1 || got[2].Addr != 3 {
+		t.Fatalf("concat = %v", got)
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := FromSlice([]Access{{Addr: 1, Size: 4}, {Addr: 3, Size: 4}, {Addr: 5, Size: 4}})
+	b := FromSlice([]Access{{Addr: 2, Size: 4}})
+	got := Collect(NewInterleave(a, b), 0)
+	want := []uint64{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("interleave yielded %d", len(got))
+	}
+	for i, w := range want {
+		if got[i].Addr != w {
+			t.Fatalf("position %d = %d, want %d", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	iv := NewInterleave(FromSlice(nil), FromSlice(nil))
+	if _, ok := iv.Next(); ok {
+		t.Fatal("empty interleave yielded an access")
+	}
+}

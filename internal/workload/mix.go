@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"cache8t/internal/trace"
+)
+
+// Mix interleaves several benchmark generators in round-robin time quanta —
+// a multiprogrammed L1-D request stream, the situation a shared cache's
+// Set-Buffer actually faces once an OS is scheduling. Context switches
+// truncate write groups, so mixed streams are a stress test for WG: the
+// paper evaluates single programs only, and Mix quantifies how fragile the
+// single-entry Set-Buffer is to interleaving (it pairs naturally with the
+// BufferDepth ablation).
+type Mix struct {
+	gens    []*Generator
+	quantum int
+	current int
+	left    int
+}
+
+// NewMix builds a round-robin mix over the given profiles. quantum is the
+// number of accesses each program issues before the next context switch.
+// All generators derive from the same seed but remain stream-independent
+// (each profile name hashes into its generator seed).
+func NewMix(profs []Profile, seed uint64, quantum int) (*Mix, error) {
+	if len(profs) == 0 {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	if quantum < 1 {
+		return nil, fmt.Errorf("workload: mix quantum %d < 1", quantum)
+	}
+	gens := make([]*Generator, len(profs))
+	for i, p := range profs {
+		g, err := NewGenerator(p, seed)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	return &Mix{gens: gens, quantum: quantum, left: quantum}, nil
+}
+
+// NewMixByNames is NewMix over named profiles.
+func NewMixByNames(names []string, seed uint64, quantum int) (*Mix, error) {
+	profs := make([]Profile, len(names))
+	for i, n := range names {
+		p, err := ProfileByName(n)
+		if err != nil {
+			return nil, err
+		}
+		profs[i] = p
+	}
+	return NewMix(profs, seed, quantum)
+}
+
+// Next emits the next access; the stream is infinite.
+func (m *Mix) Next() (trace.Access, bool) {
+	if m.left == 0 {
+		m.current = (m.current + 1) % len(m.gens)
+		m.left = m.quantum
+	}
+	m.left--
+	return m.gens[m.current].Next()
+}
+
+// String describes the mix.
+func (m *Mix) String() string {
+	names := make([]string, len(m.gens))
+	for i, g := range m.gens {
+		names[i] = g.prof.Name
+	}
+	return fmt.Sprintf("mix(%s, quantum=%d)", strings.Join(names, "+"), m.quantum)
+}
+
+var _ trace.Stream = (*Mix)(nil)

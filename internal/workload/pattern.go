@@ -1,0 +1,92 @@
+// Package workload generates synthetic L1-D request streams standing in for
+// the paper's Pin-instrumented SPEC CPU2006 runs.
+//
+// The controllers under study care about exactly four stream properties:
+// the read/write mix per instruction (Figure 3), the set-level locality of
+// consecutive accesses (Figure 4), the silent-write fraction (Figure 5), and
+// the spatial structure of addresses (which is what makes block-size and
+// cache-size sensitivity, Figures 10-11, come out mechanistically). Streams
+// here are built from mixtures of recognizable program patterns — sequential
+// scans, memset-style write bursts, copy loops, in-place read-modify-write
+// sweeps, pointer chases, strided walks, and stack traffic — so those four
+// properties emerge from structure rather than being painted on.
+package workload
+
+import "fmt"
+
+// Pattern is one archetypal access pattern a run of the generator emits.
+type Pattern uint8
+
+const (
+	// SeqRead is a sequential read scan (array traversal): long RR bursts,
+	// high same-set locality within a block.
+	SeqRead Pattern = iota
+	// SeqWrite is a sequential write burst (memset, result-array fill):
+	// long WW bursts — the pattern Write Grouping feeds on.
+	SeqWrite
+	// Copy alternates a read from a source region and a write to a
+	// destination region (memcpy): RW/WR pairs across two sets.
+	Copy
+	// RMWSweep reads then writes each element in place (a[i] += k): tight
+	// same-address RW/WR pairs — the pattern Read Bypassing feeds on.
+	RMWSweep
+	// PointerChase performs dependent random reads (linked structures):
+	// negligible same-set locality.
+	PointerChase
+	// StrideRead reads with a large stride (column walks): touches a new
+	// set almost every access.
+	StrideRead
+	// Stack is a random walk over a small hot region with mixed
+	// reads/writes (call frames, spills): very high same-set locality.
+	Stack
+
+	// NumPatterns is the number of defined patterns.
+	NumPatterns
+)
+
+var patternNames = [NumPatterns]string{
+	"seq-read", "seq-write", "copy", "rmw-sweep", "pointer-chase",
+	"stride-read", "stack",
+}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("Pattern(%d)", uint8(p))
+}
+
+// Weights holds one non-negative mixing weight per pattern. They need not
+// sum to 1; selection is proportional.
+type Weights [NumPatterns]float64
+
+// region layout: each pattern family works in its own disjoint address
+// region so that patterns interact only through the cache, never by aliasing.
+const (
+	elemSize = 8 // bytes per generated access
+
+	seqReadBase  = 0x1000_0000
+	seqWriteBase = 0x2000_0000
+	copySrcBase  = 0x3000_0000
+	copyDstBase  = 0x3800_0000
+	rmwBase      = 0x4000_0000
+	chaseBase    = 0x5000_0000
+	strideBase   = 0x6000_0000
+	stackBase    = 0x7000_0000
+
+	seqRegionBytes    = 4 << 20 // streams sweep far past any L1
+	rmwRegionBytes    = 512 << 10
+	chaseRegionBytes  = 8 << 20
+	strideRegionBytes = 8 << 20
+	stackRegionBytes  = 2 << 10 // a hot frame window
+	strideStep        = 416     // not a power of two: avoids set aliasing artifacts
+
+	// setSkew decorrelates regions whose cursors advance in lockstep (copy
+	// src/dst, parallel read streams). Region bases are multiples of common
+	// cache sizes, so without a skew equal cursors would land in equal set
+	// indices and fabricate same-set locality that real programs don't have.
+	// 736 = 23 blocks of 32 B, block-aligned for every supported block size
+	// <= 32 B and non-aligned to any power-of-two set stride.
+	setSkew = 736
+)

@@ -1,0 +1,60 @@
+package cache8t
+
+import (
+	"fmt"
+
+	"cache8t/internal/pinlite"
+)
+
+// Kernels returns the names of the bundled pinlite kernels — small programs
+// executed on the instrumentation VM, the repository's stand-in for the
+// paper's Pin methodology.
+func Kernels() []string {
+	ks := pinlite.Kernels()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// TraceKernel executes the named bundled kernel on the instrumentation VM
+// (up to budget instructions; 0 means unlimited) and returns its memory
+// trace.
+func TraceKernel(name string, budget uint64) ([]Access, error) {
+	for _, k := range pinlite.Kernels() {
+		if k.Name != name {
+			continue
+		}
+		raw, err := k.Run(budget)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Access, len(raw))
+		for i, a := range raw {
+			out[i] = Access{
+				Kind: AccessKind(a.Kind),
+				Addr: a.Addr,
+				Size: a.Size,
+				Data: a.Data,
+				Gap:  a.Gap,
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("cache8t: unknown kernel %q (have %v)", name, Kernels())
+}
+
+// Replay runs a recorded access slice through a fresh System built from cfg.
+func Replay(cfg Config, accesses []Access) (Result, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, a := range accesses {
+		if _, err := sys.Access(a); err != nil {
+			return Result{}, err
+		}
+	}
+	return sys.Finalize(), nil
+}
