@@ -1,0 +1,24 @@
+# Development targets. `make check` is the default verify flow: vet plus the
+# full test suite under the race detector — mandatory now that the execution
+# engine makes the codebase concurrent.
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+check: build vet race

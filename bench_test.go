@@ -10,12 +10,16 @@ package cache8t
 // (reduction percentages, inflation, CPI) alongside timing.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/engine"
 	"cache8t/internal/experiments"
 	"cache8t/internal/sram"
 	"cache8t/internal/stats"
@@ -306,6 +310,47 @@ func BenchmarkAllocPolicy(b *testing.B) {
 		if _, err := experiments.Alloc(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineSweep pits the serial execution path against the worker
+// pool on a Figure 9-shaped workload (RMW+WG+WGRB over several benchmarks)
+// and reports throughput in simulated accesses per second — the perf
+// baseline future scaling PRs measure against.
+func BenchmarkEngineSweep(b *testing.B) {
+	profs := workload.Profiles()[:8]
+	const perBench = 30_000
+	streams, err := workload.Materialize(profs, 1, perBench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := []core.Kind{core.RMW, core.WG, core.WGRB}
+	shape := cache.DefaultConfig()
+	var jobs []engine.Job[core.Result]
+	for _, accs := range streams {
+		jobs = append(jobs, core.Jobs(kinds, shape, core.Options{}, accs)...)
+	}
+	accessesPerRun := float64(perBench * len(jobs))
+
+	pool := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pool = append(pool, n)
+	}
+	for _, workers := range pool {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New[core.Result](engine.Config{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outs, err := eng.Run(context.Background(), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.Values(outs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(accessesPerRun*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
 	}
 }
 

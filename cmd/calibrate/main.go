@@ -1,50 +1,91 @@
 // Command calibrate prints the measured stream statistics and access
 // reductions for every benchmark profile, side by side — the tool used to
-// tune internal/workload's profile table against the paper's anchors.
+// tune internal/workload's profile table against the paper's anchors. Each
+// benchmark is an independent engine job, so the suite fans out across
+// -workers while the rows still print in profile order.
 //
 // Usage:
 //
-//	calibrate [-n accesses] [-sens]
+//	calibrate [-n accesses] [-sens] [-workers N] [-timeout D]
 //
 // -sens additionally sweeps the Figure 10/11 cache shapes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/engine"
 	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
+
+// row is one benchmark's calibration line: the stream analysis plus the two
+// measured reductions.
+type row struct {
+	an           core.StreamAnalysis
+	wgRed, rbRed float64
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
 	n := flag.Int("n", 400000, "accesses per benchmark")
 	sens := flag.Bool("sens", false, "also sweep Figure 10/11 cache shapes")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-benchmark timeout (0 = none)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ecfg := engine.Config{Workers: *workers, JobTimeout: *timeout}
 
 	cfg := cache.DefaultConfig()
 	g := cache.MustGeometry(cfg.SizeBytes, cfg.Ways, cfg.BlockBytes)
+	profiles := workload.Profiles()
+
+	jobs := make([]engine.Job[row], len(profiles))
+	for i, p := range profiles {
+		p := p
+		jobs[i] = engine.Job[row]{
+			Label:  p.Name,
+			Weight: int64(*n),
+			Fn: func(jctx context.Context) (row, error) {
+				accs, err := workload.Take(p, 1, *n)
+				if err != nil {
+					return row{}, err
+				}
+				an := core.Analyze(trace.FromSlice(accs), g, 0)
+				res, err := core.RunAllContext(jctx, []core.Kind{core.RMW, core.WG, core.WGRB}, cfg, core.Options{}, accs, 1)
+				if err != nil {
+					return row{}, err
+				}
+				rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
+				return row{
+					an:    an,
+					wgRed: 1 - float64(wg)/float64(rmw),
+					rbRed: 1 - float64(rb)/float64(rmw),
+				}, nil
+			},
+		}
+	}
+	rows, err := engine.Map(ctx, ecfg, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var sumR, sumW, sumSS, sumWW, sumRR, sumSil, sumWG, sumRB float64
 	fmt.Printf("%-11s %6s %6s | %6s %6s %6s %6s %6s | %6s | %6s %6s\n",
 		"bench", "rd/ins", "wr/ins", "same", "RR", "RW", "WR", "WW", "silent", "WG", "WG+RB")
-	for _, p := range workload.Profiles() {
-		accs, err := workload.Take(p, 1, *n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		an := core.Analyze(trace.FromSlice(accs), g, 0)
-		res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, cfg, core.Options{}, accs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
-		wgRed := 1 - float64(wg)/float64(rmw)
-		rbRed := 1 - float64(rb)/float64(rmw)
+	for i, p := range profiles {
+		an, wgRed, rbRed := rows[i].an, rows[i].wgRed, rows[i].rbRed
 		fmt.Printf("%-11s %6.3f %6.3f | %6.3f %6.3f %6.3f %6.3f %6.3f | %6.3f | %6.3f %6.3f\n",
 			p.Name, an.Stats.ReadFrac(), an.Stats.WriteFrac(), an.SameSetFrac(),
 			an.RR(), an.RW(), an.WR(), an.WW(), an.SilentFrac(), wgRed, rbRed)
@@ -57,20 +98,20 @@ func main() {
 		sumWG += wgRed
 		sumRB += rbRed
 	}
-	k := float64(len(workload.Profiles()))
+	k := float64(len(profiles))
 	fmt.Printf("%-11s %6.3f %6.3f | %6.3f %6.3f %19s %6.3f | %6.3f | %6.3f %6.3f\n",
 		"MEAN", sumR/k, sumW/k, sumSS/k, sumRR/k, "", sumWW/k, sumSil/k, sumWG/k, sumRB/k)
 
 	if *sens {
-		if err := sensitivity(*n); err != nil {
+		if err := sensitivity(ctx, ecfg, *n); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
 // sensitivity sweeps the Figure 10/11 cache shapes and prints mean
-// reductions for each.
-func sensitivity(n int) error {
+// reductions for each, fanning (shape, benchmark) jobs across the engine.
+func sensitivity(ctx context.Context, ecfg engine.Config, n int) error {
 	shapes := []struct {
 		name string
 		cfg  cache.Config
@@ -80,22 +121,43 @@ func sensitivity(n int) error {
 		{"fig11 32K/4w/32B", cache.Config{SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 32, Policy: cache.LRU}},
 		{"fig11 128K/4w/32B", cache.Config{SizeBytes: 128 * 1024, Ways: 4, BlockBytes: 32, Policy: cache.LRU}},
 	}
+	type red struct{ wg, rb float64 }
+	profiles := workload.Profiles()
+	jobs := make([]engine.Job[red], 0, len(shapes)*len(profiles))
 	for _, s := range shapes {
-		var sumWG, sumRB float64
-		for _, p := range workload.Profiles() {
-			accs, err := workload.Take(p, 1, n)
-			if err != nil {
-				return err
-			}
-			res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, s.cfg, core.Options{}, accs)
-			if err != nil {
-				return err
-			}
-			rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
-			sumWG += 1 - float64(wg)/float64(rmw)
-			sumRB += 1 - float64(rb)/float64(rmw)
+		s := s
+		for _, p := range profiles {
+			p := p
+			jobs = append(jobs, engine.Job[red]{
+				Label:  s.name + "/" + p.Name,
+				Weight: int64(n),
+				Fn: func(jctx context.Context) (red, error) {
+					accs, err := workload.Take(p, 1, n)
+					if err != nil {
+						return red{}, err
+					}
+					res, err := core.RunAllContext(jctx, []core.Kind{core.RMW, core.WG, core.WGRB}, s.cfg, core.Options{}, accs, 1)
+					if err != nil {
+						return red{}, err
+					}
+					rmw, wg, rb := res[0].ArrayAccesses(), res[1].ArrayAccesses(), res[2].ArrayAccesses()
+					return red{1 - float64(wg)/float64(rmw), 1 - float64(rb)/float64(rmw)}, nil
+				},
+			})
 		}
-		k := float64(len(workload.Profiles()))
+	}
+	reds, err := engine.Map(ctx, ecfg, jobs)
+	if err != nil {
+		return err
+	}
+	k := float64(len(profiles))
+	for si, s := range shapes {
+		var sumWG, sumRB float64
+		for pi := range profiles {
+			r := reds[si*len(profiles)+pi]
+			sumWG += r.wg
+			sumRB += r.rb
+		}
 		fmt.Printf("%-18s WG=%.3f WG+RB=%.3f\n", s.name, sumWG/k, sumRB/k)
 	}
 	return nil

@@ -8,14 +8,18 @@
 //	figures -fig 9 -fig 10           run selected artifacts
 //	figures -n 1000000 -csv out/     larger budget, CSV copies
 //	figures -bars                    add ASCII bar charts for reduction figures
+//	figures -workers 8 -timeout 5m   parallel benchmarks, whole-run deadline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -48,11 +52,24 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write per-figure CSV files")
 	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
 	bars := flag.Bool("bars", false, "render ASCII bar charts for the reduction figures")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	flag.Parse()
+
+	// Ctrl-C and -timeout both cancel through the experiments' engine jobs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := experiments.Default()
 	cfg.AccessesPerBench = *n
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Context = ctx
 
 	selected := experiments.All()
 	if len(figs) > 0 {

@@ -1,25 +1,32 @@
 // Command sweep explores the design space around the paper's sensitivity
 // analysis (§5.3): access-frequency reduction across cache sizes, block
 // sizes, associativities, and Set-Buffer depths, for one benchmark or the
-// mean over all of them.
+// mean over all of them. Every (grid cell, benchmark) pair is an independent
+// simulation, so the whole sweep fans out across the execution engine.
 //
 // Usage:
 //
 //	sweep                          mean over all benchmarks, default grids
 //	sweep -bench bwaves            single benchmark
 //	sweep -n 200000 -controller wg only the WG reduction
+//	sweep -workers 8 -progress     8-way parallel with live progress
+//	sweep -timeout 30s -stats      per-job timeout, engine snapshot at exit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/engine"
 	"cache8t/internal/stats"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -31,6 +38,10 @@ func main() {
 	n := flag.Int("n", 200_000, "accesses per benchmark")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	controller := flag.String("controller", "wgrb", "technique to sweep: wg|wgrb")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
+	progress := flag.Bool("progress", false, "print live job progress to stderr")
+	snap := flag.Bool("stats", false, "print the engine snapshot (JSON) to stderr at exit")
 	flag.Parse()
 
 	kind, err := core.ParseKind(*controller)
@@ -41,36 +52,74 @@ func main() {
 		log.Fatalf("sweep compares %v against RMW; pick wg or wgrb", kind)
 	}
 
-	profiles := workload.Profiles()
-	if *bench != "" {
-		p, err := workload.ProfileByName(*bench)
-		if err != nil {
-			log.Fatal(err)
-		}
-		profiles = []workload.Profile{p}
-	}
+	// Ctrl-C cancels in-flight simulations; partial grids are never printed
+	// because each table renders only after its cells all complete.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
+	profiles, err := workload.Resolve(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Materialize each stream once; every grid point replays the same
 	// accesses.
-	streams := make([][]trace.Access, len(profiles))
-	for i, p := range profiles {
-		accs, err := workload.Take(p, *seed, *n)
+	streams, err := workload.MaterializeContext(ctx, profiles, *seed, *n, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ecfg := engine.Config{Workers: *workers, JobTimeout: *timeout}
+	if *progress {
+		ecfg.OnProgress = func(p engine.Progress) {
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s (%v)\n", p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	eng := engine.New[float64](ecfg)
+
+	// cell is one grid point; its reduction is the mean over benchmarks.
+	type cell struct {
+		cfg  cache.Config
+		opts core.Options
+	}
+	// meanReductions evaluates cells on the engine, one job per
+	// (cell, benchmark) pair, and averages per cell. Jobs land by
+	// submission index, so the tables are identical for any -workers.
+	meanReductions := func(cells []cell) []float64 {
+		jobs := make([]engine.Job[float64], 0, len(cells)*len(streams))
+		for ci, c := range cells {
+			c := c
+			for si, accs := range streams {
+				accs := accs
+				jobs = append(jobs, engine.Job[float64]{
+					Label:  fmt.Sprintf("cell%d/%s", ci, profiles[si].Name),
+					Weight: 2 * int64(len(accs)),
+					Fn: func(jctx context.Context) (float64, error) {
+						res, err := core.RunAllContext(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, accs, 1)
+						if err != nil {
+							return 0, err
+						}
+						return stats.Reduction(res[1].ArrayAccesses(), res[0].ArrayAccesses()), nil
+					},
+				})
+			}
+		}
+		outs, err := eng.Run(ctx, jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		streams[i] = accs
-	}
-
-	meanReduction := func(cfg cache.Config, opts core.Options) float64 {
-		var sum float64
-		for _, accs := range streams {
-			res, err := core.RunAll([]core.Kind{core.RMW, kind}, cfg, opts, accs)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sum += stats.Reduction(res[1].ArrayAccesses(), res[0].ArrayAccesses())
+		vals, err := engine.Values(outs)
+		if err != nil {
+			log.Fatal(err)
 		}
-		return sum / float64(len(streams))
+		means := make([]float64, len(cells))
+		for ci := range cells {
+			var sum float64
+			for si := range streams {
+				sum += vals[ci*len(streams)+si]
+			}
+			means[ci] = sum / float64(len(streams))
+		}
+		return means
 	}
 
 	label := "mean over 25 benchmarks"
@@ -82,12 +131,18 @@ func main() {
 	// Grid 1: capacity x block size (fixed 4-way, LRU, depth 1).
 	sizesKB := []int{16, 32, 64, 128, 256}
 	blocks := []int{16, 32, 64, 128}
-	t := stats.NewTable("capacity x block size (4-way, LRU)", gridCols("size \\ block", blocks)...)
+	var cells []cell
 	for _, kb := range sizesKB {
-		row := []any{fmt.Sprintf("%dKB", kb)}
 		for _, b := range blocks {
-			cfg := cache.Config{SizeBytes: kb * 1024, Ways: 4, BlockBytes: b, Policy: cache.LRU}
-			row = append(row, stats.Pct(meanReduction(cfg, core.Options{})))
+			cells = append(cells, cell{cfg: cache.Config{SizeBytes: kb * 1024, Ways: 4, BlockBytes: b, Policy: cache.LRU}})
+		}
+	}
+	means := meanReductions(cells)
+	t := stats.NewTable("capacity x block size (4-way, LRU)", gridCols("size \\ block", blocks)...)
+	for i, kb := range sizesKB {
+		row := []any{fmt.Sprintf("%dKB", kb)}
+		for j := range blocks {
+			row = append(row, stats.Pct(means[i*len(blocks)+j]))
 		}
 		t.AddRowf(row...)
 	}
@@ -96,32 +151,54 @@ func main() {
 	// Grid 2: associativity (64KB/32B). Associativity changes the set row
 	// width, so the Set-Buffer covers more blocks at higher ways.
 	ways := []int{1, 2, 4, 8, 16}
-	t = stats.NewTable("associativity (64KB, 32B blocks)", "ways", "reduction")
+	cells = cells[:0]
 	for _, w := range ways {
-		cfg := cache.Config{SizeBytes: 64 * 1024, Ways: w, BlockBytes: 32, Policy: cache.LRU}
-		t.AddRowf(fmt.Sprintf("%d", w), stats.Pct(meanReduction(cfg, core.Options{})))
+		cells = append(cells, cell{cfg: cache.Config{SizeBytes: 64 * 1024, Ways: w, BlockBytes: 32, Policy: cache.LRU}})
+	}
+	means = meanReductions(cells)
+	t = stats.NewTable("associativity (64KB, 32B blocks)", "ways", "reduction")
+	for i, w := range ways {
+		t.AddRowf(fmt.Sprintf("%d", w), stats.Pct(means[i]))
 	}
 	render(t)
 
 	// Grid 3: Set-Buffer depth (baseline shape).
 	depths := []int{1, 2, 4, 8, 16}
-	t = stats.NewTable("Set-Buffer depth (64KB/4w/32B)", "entries", "reduction")
+	cells = cells[:0]
 	for _, d := range depths {
-		cfg := cache.DefaultConfig()
-		t.AddRowf(fmt.Sprintf("%d", d), stats.Pct(meanReduction(cfg, core.Options{BufferDepth: d})))
+		cells = append(cells, cell{cfg: cache.DefaultConfig(), opts: core.Options{BufferDepth: d}})
+	}
+	means = meanReductions(cells)
+	t = stats.NewTable("Set-Buffer depth (64KB/4w/32B)", "entries", "reduction")
+	for i, d := range depths {
+		t.AddRowf(fmt.Sprintf("%d", d), stats.Pct(means[i]))
 	}
 	render(t)
 
 	// Grid 4: replacement policy (baseline shape) — reductions are about
 	// write locality, so policy should barely matter; surprises here would
 	// flag a modeling bug.
-	t = stats.NewTable("replacement policy (64KB/4w/32B)", "policy", "reduction")
-	for _, pol := range []cache.PolicyKind{cache.LRU, cache.FIFO, cache.Random, cache.TreePLRU} {
+	policies := []cache.PolicyKind{cache.LRU, cache.FIFO, cache.Random, cache.TreePLRU}
+	cells = cells[:0]
+	for _, pol := range policies {
 		cfg := cache.DefaultConfig()
 		cfg.Policy = pol
-		t.AddRowf(pol.String(), stats.Pct(meanReduction(cfg, core.Options{})))
+		cells = append(cells, cell{cfg: cfg})
+	}
+	means = meanReductions(cells)
+	t = stats.NewTable("replacement policy (64KB/4w/32B)", "policy", "reduction")
+	for i, pol := range policies {
+		t.AddRowf(pol.String(), stats.Pct(means[i]))
 	}
 	render(t)
+
+	if *snap {
+		js, err := eng.Snapshot().JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", js)
+	}
 }
 
 func gridCols(first string, blocks []int) []string {

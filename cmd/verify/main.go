@@ -1,22 +1,33 @@
 // Command verify is the correctness harness: it hammers every controller
 // with randomized request streams across randomized cache shapes and checks
 // the architectural contract against the RMW baseline — same value returned
-// for every access, same final memory image (DESIGN.md §5).
+// for every access, same final memory image (DESIGN.md §5). Rounds are
+// independent engine jobs: each derives its own RNG from a per-round seed
+// drawn serially from the master seed, so the set of shapes exercised is
+// identical for any -workers value, and the first divergence cancels the
+// remaining rounds (fail-fast).
 //
 // Usage:
 //
 //	verify                 default: 64 rounds
 //	verify -rounds 1000    long soak
 //	verify -seed 42        reproduce a specific round sequence
+//	verify -workers 8      parallel rounds
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/engine"
 	"cache8t/internal/rng"
 	"cache8t/internal/trace"
 )
@@ -28,48 +39,97 @@ func main() {
 	rounds := flag.Int("rounds", 64, "randomized rounds to run")
 	seed := flag.Uint64("seed", 1, "master seed")
 	accesses := flag.Int("n", 5000, "accesses per round")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel rounds (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-round timeout (0 = none)")
 	flag.Parse()
 
-	r := rng.New(*seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	kinds := []core.Kind{
 		core.Conventional, core.LocalRMW, core.WordGranularity,
 		core.Coalesce, core.WG, core.WGRB,
 	}
+
+	// Round seeds are drawn serially up front so the tested shapes depend
+	// only on -seed and -rounds, never on scheduling.
+	master := rng.New(*seed)
+	seeds := make([]uint64, *rounds)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	eng := engine.New[int](engine.Config{
+		Workers:    *workers,
+		JobTimeout: *timeout,
+		FailFast:   true,
+		OnProgress: func(p engine.Progress) {
+			if p.Err == nil && p.Done%16 == 0 {
+				fmt.Printf("%d/%d rounds done (%v)\n", p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+			}
+		},
+	})
+
+	jobs := make([]engine.Job[int], *rounds)
+	for round := range jobs {
+		round := round
+		jobs[round] = engine.Job[int]{
+			Label:  fmt.Sprintf("round %d", round),
+			Weight: int64(*accesses * len(kinds)),
+			Fn: func(context.Context) (int, error) {
+				r := rng.New(seeds[round])
+				cfg, opts := randomShape(r)
+				stream := randomStream(r, *accesses)
+				checked := 0
+				for _, k := range kinds {
+					if err := core.VerifyEquivalence(core.RMW, k, cfg, opts, stream); err != nil {
+						return checked, fmt.Errorf("cfg %+v, opts %+v: %w", cfg, opts, err)
+					}
+					checked++
+				}
+				return checked, nil
+			},
+		}
+	}
+
+	outs, err := eng.Run(ctx, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	checked := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		checked += o.Value
+	}
+	fmt.Printf("PASS: %d rounds, %d controller pairings, no divergence\n", *rounds, checked)
+	fmt.Println(eng.Snapshot())
+}
+
+// randomShape draws one round's cache configuration and controller options.
+func randomShape(r *rng.Xoshiro256) (cache.Config, core.Options) {
 	sizes := []int{512, 1024, 4096, 65536}
 	blocks := []int{16, 32, 64}
 	waysChoices := []int{1, 2, 4}
 	policies := []cache.PolicyKind{cache.LRU, cache.FIFO, cache.Random, cache.TreePLRU}
 	depths := []int{1, 2, 4}
-
-	checked := 0
-	for round := 0; round < *rounds; round++ {
-		cfg := cache.Config{
-			SizeBytes:       sizes[r.Intn(len(sizes))],
-			Ways:            waysChoices[r.Intn(len(waysChoices))],
-			BlockBytes:      blocks[r.Intn(len(blocks))],
-			Policy:          policies[r.Intn(len(policies))],
-			Seed:            r.Uint64(),
-			NoWriteAllocate: r.Bool(0.3),
-		}
-		if cfg.SizeBytes < cfg.Ways*cfg.BlockBytes {
-			cfg.SizeBytes = cfg.Ways * cfg.BlockBytes * 4
-		}
-		opts := core.Options{
-			BufferDepth:          depths[r.Intn(len(depths))],
-			DisableSilentElision: r.Bool(0.3),
-		}
-		stream := randomStream(r, *accesses)
-		for _, k := range kinds {
-			if err := core.VerifyEquivalence(core.RMW, k, cfg, opts, stream); err != nil {
-				log.Fatalf("round %d (cfg %+v, opts %+v): %v", round, cfg, opts, err)
-			}
-			checked++
-		}
-		if (round+1)%16 == 0 {
-			fmt.Printf("round %d/%d ok (%d pairings checked)\n", round+1, *rounds, checked)
-		}
+	cfg := cache.Config{
+		SizeBytes:       sizes[r.Intn(len(sizes))],
+		Ways:            waysChoices[r.Intn(len(waysChoices))],
+		BlockBytes:      blocks[r.Intn(len(blocks))],
+		Policy:          policies[r.Intn(len(policies))],
+		Seed:            r.Uint64(),
+		NoWriteAllocate: r.Bool(0.3),
 	}
-	fmt.Printf("PASS: %d rounds, %d controller pairings, no divergence\n", *rounds, checked)
+	if cfg.SizeBytes < cfg.Ways*cfg.BlockBytes {
+		cfg.SizeBytes = cfg.Ways * cfg.BlockBytes * 4
+	}
+	opts := core.Options{
+		BufferDepth:          depths[r.Intn(len(depths))],
+		DisableSilentElision: r.Bool(0.3),
+	}
+	return cfg, opts
 }
 
 // randomStream builds a hostile stream: mixed sizes, deliberate block

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/engine"
+	"cache8t/internal/trace"
+)
+
+// Job wraps one controller run over a shared access slice as an engine job.
+// Every job replays the same slice through its own fresh cache, so jobs for
+// different kinds are independent and safe to run concurrently.
+func Job(kind Kind, cfg cache.Config, opts Options, accesses []trace.Access) engine.Job[Result] {
+	return engine.Job[Result]{
+		Label:  kind.String(),
+		Weight: int64(len(accesses)),
+		Fn: func(ctx context.Context) (Result, error) {
+			return RunContext(ctx, kind, cfg, opts, trace.FromSlice(accesses), 0)
+		},
+	}
+}
+
+// Jobs builds one engine job per kind, in kind order.
+func Jobs(kinds []Kind, cfg cache.Config, opts Options, accesses []trace.Access) []engine.Job[Result] {
+	jobs := make([]engine.Job[Result], len(kinds))
+	for i, k := range kinds {
+		jobs[i] = Job(k, cfg, opts, accesses)
+	}
+	return jobs
+}
+
+// RunAllContext is RunAll with cancellation and a worker budget: the kinds
+// fan out across min(workers, kinds) engine workers and the results come
+// back in kind order regardless of completion order (the engine aggregates
+// by submission index), so any workers value reproduces the serial output.
+func RunAllContext(ctx context.Context, kinds []Kind, cfg cache.Config, opts Options, accesses []trace.Access, workers int) ([]Result, error) {
+	return engine.Map(ctx, engine.Config{Workers: workers}, Jobs(kinds, cfg, opts, accesses))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cache8t/internal/cache"
@@ -12,6 +13,19 @@ import (
 // freshly built cache and controller of the given kind, then finalizes.
 // This is the one-call entry point the experiment harness and examples use.
 func Run(kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Result, error) {
+	return RunContext(context.Background(), kind, cfg, opts, s, max)
+}
+
+// cancelCheckInterval is how many accesses RunContext simulates between
+// context polls — frequent enough that cancellation lands within
+// microseconds, rare enough to stay invisible in profiles.
+const cancelCheckInterval = 4096
+
+// RunContext is Run with cancellation: the simulation polls ctx every few
+// thousand accesses and abandons the run with ctx's error once it is
+// cancelled or past its deadline. This is what gives engine jobs prompt,
+// mid-simulation cancellation instead of job-boundary granularity.
+func RunContext(ctx context.Context, kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Result, error) {
 	c, err := cache.New(cfg, mem.New())
 	if err != nil {
 		return Result{}, err
@@ -22,6 +36,9 @@ func Run(kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Re
 	}
 	n := 0
 	for max <= 0 || n < max {
+		if n%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		a, ok := s.Next()
 		if !ok {
 			break
@@ -34,17 +51,11 @@ func Run(kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Re
 
 // RunAll runs the same access slice through several controller kinds, each
 // over its own fresh cache, and returns results in kind order. Slices (not
-// streams) keep the inputs bit-identical across controllers.
+// streams) keep the inputs bit-identical across controllers. It is the
+// serial (workers=1) case of RunAllContext, so there is exactly one
+// execution path for single- and multi-controller runs.
 func RunAll(kinds []Kind, cfg cache.Config, opts Options, accesses []trace.Access) ([]Result, error) {
-	out := make([]Result, 0, len(kinds))
-	for _, k := range kinds {
-		r, err := Run(k, cfg, opts, trace.FromSlice(accesses), 0)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunAllContext(context.Background(), kinds, cfg, opts, accesses, 1)
 }
 
 // VerifyEquivalence replays accesses through two controller kinds and checks

@@ -1,0 +1,39 @@
+package engine
+
+import "fmt"
+
+// JobError is the structured failure of one job: a returned error, a
+// recovered panic (with stack), a timeout, or a post-cancellation skip. It
+// wraps the underlying error for errors.Is/As.
+type JobError struct {
+	// Index and Label identify the job within its batch.
+	Index int
+	Label string
+	// Err is the underlying cause.
+	Err error
+	// Panicked marks errors converted from a recovered panic; Stack then
+	// holds the goroutine stack captured at recovery.
+	Panicked bool
+	Stack    []byte
+	// Skipped marks jobs never started because the run was cancelled.
+	Skipped bool
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	name := e.Label
+	if name == "" {
+		name = fmt.Sprintf("#%d", e.Index)
+	}
+	switch {
+	case e.Panicked:
+		return fmt.Sprintf("engine: job %s panicked: %v", name, e.Err)
+	case e.Skipped:
+		return fmt.Sprintf("engine: job %s skipped: %v", name, e.Err)
+	default:
+		return fmt.Sprintf("engine: job %s: %v", name, e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the engine's cumulative counter set. All fields are atomics so
+// workers update them without locks.
+type metrics struct {
+	submitted atomic.Int64
+	started   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	panicked  atomic.Int64
+	skipped   atomic.Int64
+	items     atomic.Int64
+	wallNanos atomic.Int64 // wall time across Run calls
+	busyNanos atomic.Int64 // summed per-job wall time
+}
+
+func (m *metrics) snapshot() Snapshot {
+	s := Snapshot{
+		JobsSubmitted: m.submitted.Load(),
+		JobsStarted:   m.started.Load(),
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsPanicked:  m.panicked.Load(),
+		JobsSkipped:   m.skipped.Load(),
+		Items:         m.items.Load(),
+		Wall:          time.Duration(m.wallNanos.Load()),
+		Busy:          time.Duration(m.busyNanos.Load()),
+	}
+	if secs := s.Wall.Seconds(); secs > 0 {
+		s.ItemsPerSecond = float64(s.Items) / secs
+		s.Parallelism = s.Busy.Seconds() / secs
+	}
+	return s
+}
+
+// Snapshot is a point-in-time export of engine counters, printable for
+// humans and marshalable for machines.
+type Snapshot struct {
+	// JobsSubmitted..JobsSkipped partition every job handed to Run:
+	// completed + failed + skipped == submitted once a Run returns, and
+	// panicked is the subset of failed that crashed.
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsStarted   int64 `json:"jobs_started"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsPanicked  int64 `json:"jobs_panicked"`
+	JobsSkipped   int64 `json:"jobs_skipped"`
+	// Items sums the Weight of completed jobs — for simulations, accesses
+	// simulated.
+	Items int64 `json:"items"`
+	// Wall is elapsed engine time; Busy is the summed per-job wall time, so
+	// Parallelism = Busy/Wall is the effective worker utilization.
+	Wall           time.Duration `json:"wall_ns"`
+	Busy           time.Duration `json:"busy_ns"`
+	ItemsPerSecond float64       `json:"items_per_second"`
+	Parallelism    float64       `json:"parallelism"`
+}
+
+// String renders the snapshot as a one-line human summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"engine: %d/%d jobs ok (%d failed, %d panicked, %d skipped), %d items in %v (%.0f items/s, %.1fx parallel)",
+		s.JobsCompleted, s.JobsSubmitted, s.JobsFailed, s.JobsPanicked, s.JobsSkipped,
+		s.Items, s.Wall.Round(time.Millisecond), s.ItemsPerSecond, s.Parallelism)
+}
+
+// JSON renders the snapshot as indented JSON for tooling.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

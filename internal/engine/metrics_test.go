@@ -1,0 +1,89 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"cache8t/internal/engine"
+)
+
+// TestSnapshotAccounting runs a mixed batch and checks the counters
+// partition cleanly: completed + failed == submitted, items sum the weights
+// of successful jobs only.
+func TestSnapshotAccounting(t *testing.T) {
+	batch := []engine.Job[int]{
+		{Label: "a", Weight: 100, Fn: func(context.Context) (int, error) { return 1, nil }},
+		{Label: "b", Weight: 200, Fn: func(context.Context) (int, error) { return 2, nil }},
+		{Label: "c", Weight: 400, Fn: func(context.Context) (int, error) { return 0, errors.New("x") }},
+	}
+	eng := engine.New[int](engine.Config{Workers: 2})
+	if _, err := eng.Run(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Snapshot()
+	if s.JobsSubmitted != 3 || s.JobsStarted != 3 || s.JobsCompleted != 2 || s.JobsFailed != 1 || s.JobsSkipped != 0 {
+		t.Fatalf("snapshot counters off: %+v", s)
+	}
+	if s.Items != 300 {
+		t.Fatalf("items = %d, want 300 (failed job's weight excluded)", s.Items)
+	}
+	if s.Wall <= 0 || s.Busy <= 0 {
+		t.Fatalf("timers not recorded: %+v", s)
+	}
+	if !strings.Contains(s.String(), "2/3 jobs ok") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+// TestSnapshotJSON checks the machine-readable export round-trips.
+func TestSnapshotJSON(t *testing.T) {
+	eng := engine.New[int](engine.Config{Workers: 1})
+	_, err := eng.Run(context.Background(), []engine.Job[int]{
+		{Label: "j", Weight: 42, Fn: func(context.Context) (int, error) { return 0, nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back engine.Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.JobsCompleted != 1 || back.Items != 42 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}
+
+// TestProgressCallback: OnProgress fires once per job with monotonically
+// increasing Done and the full batch size in Total, in every pool mode.
+func TestProgressCallback(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var events []engine.Progress
+		cfg := engine.Config{
+			Workers: workers,
+			// Calls are serialized by the engine, so appending is safe.
+			OnProgress: func(p engine.Progress) { events = append(events, p) },
+		}
+		batch := make([]engine.Job[int], 9)
+		for i := range batch {
+			batch[i] = engine.Job[int]{Fn: func(context.Context) (int, error) { return 0, nil }}
+		}
+		if _, err := engine.New[int](cfg).Run(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(batch) {
+			t.Fatalf("workers=%d: %d progress events for %d jobs", workers, len(events), len(batch))
+		}
+		for i, p := range events {
+			if p.Done != i+1 || p.Total != len(batch) {
+				t.Fatalf("workers=%d: event %d = %+v", workers, i, p)
+			}
+		}
+	}
+}

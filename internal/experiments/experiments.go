@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/engine"
 	"cache8t/internal/stats"
 	"cache8t/internal/trace"
 	"cache8t/internal/workload"
@@ -29,6 +31,21 @@ type Config struct {
 	Cache cache.Config
 	// Opts tunes the controllers.
 	Opts core.Options
+	// Workers bounds the engine fan-out used by the grid helpers (0 means
+	// one per CPU). Tables are identical for every value — the engine
+	// aggregates by submission index — so this is purely a speed knob.
+	Workers int
+	// Context, when non-nil, cancels in-flight simulations; cmd/figures
+	// wires its -timeout flag here.
+	Context context.Context
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // Default returns the paper's baseline configuration.
@@ -97,29 +114,56 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
-// benchTrace materializes one benchmark's stream under cfg.
-func benchTrace(cfg Config, prof workload.Profile) ([]trace.Access, error) {
-	return workload.Take(prof, cfg.Seed, cfg.AccessesPerBench)
-}
-
-// forEachBench runs fn over every benchmark profile with its stream.
+// forEachBench runs fn over every benchmark profile with its stream. The
+// streams are materialized up front through the engine (parallel across
+// profiles); fn itself runs serially in profile order because the callers'
+// closures append table rows in place.
 func forEachBench(cfg Config, fn func(prof workload.Profile, accs []trace.Access) error) error {
-	for _, prof := range workload.Profiles() {
-		accs, err := benchTrace(cfg, prof)
-		if err != nil {
-			return err
-		}
-		if err := fn(prof, accs); err != nil {
+	profs := workload.Profiles()
+	streams, err := workload.MaterializeContext(cfg.ctx(), profs, cfg.Seed, cfg.AccessesPerBench, cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for i, prof := range profs {
+		if err := fn(prof, streams[i]); err != nil {
 			return fmt.Errorf("experiments: %s: %w", prof.Name, err)
 		}
 	}
 	return nil
 }
 
+// benchMap fans fn out across the benchmark suite on the engine — one job
+// per profile, covering both stream materialization and simulation — and
+// returns the per-benchmark values in profile order. It is the parallel
+// counterpart of forEachBench for experiments whose per-benchmark work is
+// pure, and the path the heavy reduction figures run on.
+func benchMap[T any](cfg Config, fn func(prof workload.Profile, accs []trace.Access) (T, error)) ([]T, error) {
+	profs := workload.Profiles()
+	jobs := make([]engine.Job[T], len(profs))
+	for i, prof := range profs {
+		prof := prof
+		jobs[i] = engine.Job[T]{
+			Label:  prof.Name,
+			Weight: int64(cfg.AccessesPerBench),
+			Fn: func(ctx context.Context) (T, error) {
+				var zero T
+				accs, err := workload.Take(prof, cfg.Seed, cfg.AccessesPerBench)
+				if err != nil {
+					return zero, err
+				}
+				return fn(prof, accs)
+			},
+		}
+	}
+	return engine.Map(cfg.ctx(), engine.Config{Workers: cfg.Workers}, jobs)
+}
+
 // reductions runs the benchmark stream through RMW, WG, and WG+RB over the
-// given cache shape and returns the two access-frequency reductions.
+// given cache shape and returns the two access-frequency reductions. The
+// three controllers run serially: callers already parallelize across
+// benchmarks, the outer axis with 25-way width.
 func reductions(cfg Config, shape cache.Config, accs []trace.Access) (wg, wgrb float64, err error) {
-	res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, shape, cfg.Opts, accs)
+	res, err := core.RunAllContext(cfg.ctx(), []core.Kind{core.RMW, core.WG, core.WGRB}, shape, cfg.Opts, accs, 1)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -142,22 +142,26 @@ func Fig8Stream(g cache.Geometry) []trace.Access {
 	}
 }
 
-// reductionFigure builds a Figure 9/10-style table for one cache shape.
+// redPair is one benchmark's pair of reductions, the benchMap job payload
+// for the Figure 9/10/11 family.
+type redPair struct{ wg, rb float64 }
+
+// reductionFigure builds a Figure 9/10-style table for one cache shape. The
+// 25 benchmarks fan out across the engine; rows land in profile order.
 func reductionFigure(cfg Config, title string, shape cache.Config, paperWG, paperRB string) (*stats.Table, error) {
-	t := stats.NewTable(title, "benchmark", "WG", "WG+RB")
-	var wgs, rbs []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (redPair, error) {
 		wg, rb, err := reductions(cfg, shape, accs)
-		if err != nil {
-			return err
-		}
-		t.AddRowf(prof.Name, stats.Pct(wg), stats.Pct(rb))
-		wgs = append(wgs, wg)
-		rbs = append(rbs, rb)
-		return nil
+		return redPair{wg, rb}, err
 	})
 	if err != nil {
 		return nil, err
+	}
+	t := stats.NewTable(title, "benchmark", "WG", "WG+RB")
+	var wgs, rbs []float64
+	for i, prof := range workload.Profiles() {
+		t.AddRowf(prof.Name, stats.Pct(pairs[i].wg), stats.Pct(pairs[i].rb))
+		wgs = append(wgs, pairs[i].wg)
+		rbs = append(rbs, pairs[i].rb)
 	}
 	t.AddRowf("MEAN (measured)", stats.Pct(stats.Mean(wgs)), stats.Pct(stats.Mean(rbs)))
 	t.AddRow("MEAN (paper)", paperWG, paperRB)
@@ -195,25 +199,28 @@ func Fig11(cfg Config) (*stats.Table, error) {
 	small.SizeBytes = 32 * 1024
 	big := cfg.Cache
 	big.SizeBytes = 128 * 1024
-	var wgS, rbS, wgB, rbB []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) ([2]redPair, error) {
 		ws, rs, err := reductions(cfg, small, accs)
 		if err != nil {
-			return err
+			return [2]redPair{}, err
 		}
 		wb, rb, err := reductions(cfg, big, accs)
 		if err != nil {
-			return err
+			return [2]redPair{}, err
 		}
-		t.AddRowf(prof.Name, stats.Pct(ws), stats.Pct(rs), stats.Pct(wb), stats.Pct(rb))
-		wgS = append(wgS, ws)
-		rbS = append(rbS, rs)
-		wgB = append(wgB, wb)
-		rbB = append(rbB, rb)
-		return nil
+		return [2]redPair{{ws, rs}, {wb, rb}}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var wgS, rbS, wgB, rbB []float64
+	for i, prof := range workload.Profiles() {
+		sm, bg := pairs[i][0], pairs[i][1]
+		t.AddRowf(prof.Name, stats.Pct(sm.wg), stats.Pct(sm.rb), stats.Pct(bg.wg), stats.Pct(bg.rb))
+		wgS = append(wgS, sm.wg)
+		rbS = append(rbS, sm.rb)
+		wgB = append(wgB, bg.wg)
+		rbB = append(rbB, bg.rb)
 	}
 	t.AddRowf("MEAN (measured)", stats.Pct(stats.Mean(wgS)), stats.Pct(stats.Mean(rbS)),
 		stats.Pct(stats.Mean(wgB)), stats.Pct(stats.Mean(rbB)))

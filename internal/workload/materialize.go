@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"context"
+
+	"cache8t/internal/engine"
+	"cache8t/internal/trace"
+)
+
+// Resolve turns a CLI -bench argument into a profile list: the full
+// 25-benchmark suite for "", or the single named profile. This is the shared
+// front half of the materialization boilerplate cmd/sweep, cmd/calibrate,
+// and cmd/figures used to repeat.
+func Resolve(name string) ([]Profile, error) {
+	if name == "" {
+		return Profiles(), nil
+	}
+	p, err := ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []Profile{p}, nil
+}
+
+// Materialize generates the first n accesses of every profile's stream,
+// serially, in profile order. Every grid point of a sweep then replays the
+// same slices, keeping inputs bit-identical across configurations.
+func Materialize(profiles []Profile, seed uint64, n int) ([][]trace.Access, error) {
+	return MaterializeContext(context.Background(), profiles, seed, n, 1)
+}
+
+// MaterializeContext is Materialize with cancellation and a worker budget:
+// stream generation fans out across the engine (one job per profile) and
+// the slices come back in profile order. Generators are seeded per profile,
+// so parallel materialization is bit-identical to serial.
+func MaterializeContext(ctx context.Context, profiles []Profile, seed uint64, n int, workers int) ([][]trace.Access, error) {
+	jobs := make([]engine.Job[[]trace.Access], len(profiles))
+	for i, p := range profiles {
+		p := p
+		jobs[i] = engine.Job[[]trace.Access]{
+			Label:  p.Name,
+			Weight: int64(n),
+			Fn: func(context.Context) ([]trace.Access, error) {
+				return Take(p, seed, n)
+			},
+		}
+	}
+	return engine.Map(ctx, engine.Config{Workers: workers}, jobs)
+}
