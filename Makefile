@@ -1,10 +1,12 @@
 # Development targets. `make check` is the default verify flow: vet plus the
 # full test suite under the race detector — mandatory now that the execution
-# engine makes the codebase concurrent.
+# engine makes the codebase concurrent. `make ci` mirrors
+# .github/workflows/ci.yml exactly, so a green local run predicts a green PR.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench check fmt-check regress golden-update fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,3 +24,24 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 check: build vet race
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Golden-result regression: re-run the paper's experiment matrix and diff
+# against golden/*.json. Non-zero exit + per-metric diff table on drift.
+regress:
+	$(GO) run ./cmd/regress
+
+# Regenerate the goldens after an intentional change to the reproduced
+# numbers. Review the golden/ diff and commit it with the change that caused
+# it (policy in README "Reproducing the paper").
+golden-update:
+	$(GO) run ./cmd/regress -update
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
+
+ci: build vet fmt-check race regress fuzz-smoke

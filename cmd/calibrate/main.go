@@ -19,10 +19,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
+	"cache8t/internal/report"
 	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
@@ -41,7 +43,9 @@ func main() {
 	sens := flag.Bool("sens", false, "also sweep Figure 10/11 cache shapes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-benchmark timeout (0 = none)")
+	reportPath := flag.String("report", "", "write the calibration artifact (canonical JSON) to this path")
 	flag.Parse()
+	start := time.Now()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -106,6 +110,34 @@ func main() {
 		if err := sensitivity(ctx, ecfg, *n); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *reportPath != "" {
+		art := report.New("calibrate", 1)
+		art.SetConfig("n", *n)
+		art.SetConfig("cache_size_bytes", cfg.SizeBytes)
+		art.SetConfig("cache_ways", cfg.Ways)
+		art.SetConfig("cache_block_bytes", cfg.BlockBytes)
+		for i, p := range profiles {
+			an := rows[i].an
+			art.SetMetric(p.Name+".read_frac", an.Stats.ReadFrac())
+			art.SetMetric(p.Name+".write_frac", an.Stats.WriteFrac())
+			art.SetMetric(p.Name+".same_set_frac", an.SameSetFrac())
+			art.SetMetric(p.Name+".silent_frac", an.SilentFrac())
+			art.SetMetric(p.Name+".wg_reduction", rows[i].wgRed)
+			art.SetMetric(p.Name+".wgrb_reduction", rows[i].rbRed)
+		}
+		art.SetMetric("mean.read_frac", sumR/k)
+		art.SetMetric("mean.write_frac", sumW/k)
+		art.SetMetric("mean.same_set_frac", sumSS/k)
+		art.SetMetric("mean.silent_frac", sumSil/k)
+		art.SetMetric("mean.wg_reduction", sumWG/k)
+		art.SetMetric("mean.wgrb_reduction", sumRB/k)
+		art.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
 	}
 }
 

@@ -22,8 +22,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"cache8t/internal/experiments"
+	"cache8t/internal/report"
 	"cache8t/internal/stats"
 )
 
@@ -54,7 +56,9 @@ func main() {
 	bars := flag.Bool("bars", false, "render ASCII bar charts for the reduction figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
+	reportPath := flag.String("report", "", "write the run artifact (canonical JSON) to this path")
 	flag.Parse()
+	start := time.Now()
 
 	// Ctrl-C and -timeout both cancel through the experiments' engine jobs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -83,11 +87,16 @@ func main() {
 		}
 	}
 
+	art := report.New("figures", *seed)
+	art.SetConfig("n", *n)
+	art.SetConfig("experiments", len(selected))
 	for _, e := range selected {
+		expStart := time.Now()
 		tab, err := e.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}
+		art.SetMetric(e.ID+".wall_ms", float64(time.Since(expStart).Microseconds())/1e3)
 		fmt.Printf("== %s ==\n", e.Title)
 		render := tab.Render
 		if *md {
@@ -105,6 +114,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	if *reportPath != "" {
+		art.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command regress is the golden-result regression harness: it re-runs the
+// paper's headline experiment matrix (Figure 8 worked example, RMW
+// inflation, Figures 9/10/11 reductions) and diffs the resulting artifacts
+// against the checked-in golden/*.json baselines with per-metric tolerance
+// bands. Any drift prints a per-metric diff table and exits non-zero, which
+// is what lets CI promote "tests pass" to "the paper's numbers still hold".
+//
+// Usage:
+//
+//	regress                     diff all checks against golden/
+//	regress fig9 fig10          only those checks
+//	regress -update             regenerate the goldens intentionally
+//	regress -full               show passing metrics too
+//	regress -bench              append engine serial-vs-parallel throughput
+//	                            to BENCH_regress.json (perf trajectory)
+//
+// Exit status: 0 clean, 1 drift, 2 harness error (missing golden, bad
+// flags, simulation failure).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"cache8t/internal/regress"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("regress: ")
+
+	def := regress.DefaultOptions()
+	golden := flag.String("golden", def.GoldenDir, "golden baseline directory")
+	n := flag.Int("n", def.N, "accesses per benchmark (goldens are pinned at this N)")
+	seed := flag.Uint64("seed", def.Seed, "workload master seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	update := flag.Bool("update", false, "regenerate goldens instead of diffing")
+	full := flag.Bool("full", false, "render passing metrics in diff tables too")
+	bench := flag.Bool("bench", false, "measure serial-vs-parallel engine throughput and append it to -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_regress.json", "throughput trajectory file for -bench")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := regress.Options{
+		GoldenDir: *golden,
+		N:         *n,
+		Seed:      *seed,
+		Workers:   *workers,
+		Update:    *update,
+		Full:      *full,
+		Context:   ctx,
+		Out:       os.Stdout,
+	}
+
+	if *bench {
+		entry, err := regress.Bench(opts)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		if err := regress.AppendBench(*benchOut, entry); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		fmt.Printf("regress: bench appended to %s: serial %.0f items/s, parallel %.0f items/s (%d workers, %.2fx)\n",
+			*benchOut, entry.SerialItemsPS, entry.ParallelItemsPS, entry.ParallelWorkers, entry.Speedup)
+		return
+	}
+
+	sum, err := regress.Run(opts, flag.Args()...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	switch {
+	case *update:
+		fmt.Printf("regress: %d goldens regenerated in %s — review and commit them deliberately\n",
+			len(sum.Updated), *golden)
+	case sum.OK():
+		fmt.Printf("regress: PASS — %d checks against %s\n", len(sum.Passed), *golden)
+	default:
+		fmt.Printf("regress: FAIL — drift in %v (%d/%d checks clean)\n",
+			sum.Failed, len(sum.Passed), len(sum.Passed)+len(sum.Failed))
+		os.Exit(1)
+	}
+}

@@ -6,10 +6,14 @@
 //
 //	sramsim -workload bwaves -controller wgrb -n 1000000
 //	sramsim -trace requests.c8tt -controller rmw
+//	sramsim -report run.json -workload mcf
 //	sramsim -list
 //
 // The -trace flag replays a binary trace written by tracegen instead of a
-// synthetic workload.
+// synthetic workload; a decode error mid-stream aborts the run with a
+// non-zero exit before any results print, so CI can trust the exit code.
+// -report writes the run's canonical artifact (internal/report) for the
+// regression tooling.
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/energy"
+	"cache8t/internal/report"
 	"cache8t/internal/sram"
 	"cache8t/internal/stats"
 	"cache8t/internal/timing"
@@ -32,7 +38,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sramsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		workloadName = flag.String("workload", "bwaves", "bundled workload name (see -list)")
 		traceFile    = flag.String("trace", "", "binary trace file to replay instead of a workload")
@@ -48,22 +59,23 @@ func main() {
 		countFills   = flag.Bool("count-fills", false, "include miss-handling traffic in array-access totals")
 		voltage      = flag.Float64("vdd", 1.0, "operating voltage for the energy report")
 		freq         = flag.Float64("freq", 2000, "operating frequency in MHz")
+		reportPath   = flag.String("report", "", "write the run artifact (canonical JSON) to this path")
 		list         = flag.Bool("list", false, "list bundled workloads and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(workload.Names(), "\n"))
-		return
+		return nil
 	}
 
 	kind, err := core.ParseKind(*controller)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pol, err := cache.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := cache.Config{
 		SizeBytes:  *sizeKB * 1024,
@@ -79,42 +91,85 @@ func main() {
 	}
 
 	var stream trace.Stream
+	var reader *trace.Reader
 	var sourceName string
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
-		reader, err := trace.NewAutoReader(f)
+		reader, err = trace.NewAutoReader(f)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer func() {
-			if err := reader.Err(); err != nil {
-				log.Fatalf("trace decode: %v", err)
-			}
-		}()
 		stream = reader
 		sourceName = *traceFile
 		*n = 0 // replay fully
 	} else {
 		gen, err := workload.Stream(*workloadName, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		stream = gen
 		sourceName = *workloadName
 	}
 
+	start := time.Now()
 	res, err := core.Run(kind, cfg, opts, stream, *n)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	printResult(sourceName, cfg, res, *voltage, *freq)
+	// A trace that stops decoding mid-stream ends the run exactly like a
+	// clean EOF, so the decode error must be checked — and fail the command —
+	// before any result is presented as trustworthy.
+	if reader != nil {
+		if err := reader.Err(); err != nil {
+			return fmt.Errorf("trace decode (after %d accesses): %w", res.Requests.Accesses(), err)
+		}
+	}
+	wall := time.Since(start)
+
+	if err := printResult(sourceName, cfg, res, *voltage, *freq); err != nil {
+		return err
+	}
+
+	if *reportPath != "" {
+		art := report.New("sramsim", *seed)
+		art.SetConfig("source", sourceName)
+		art.SetConfig("controller", kind)
+		art.SetConfig("n", *n)
+		art.SetConfig("cache_size_bytes", cfg.SizeBytes)
+		art.SetConfig("cache_ways", cfg.Ways)
+		art.SetConfig("cache_block_bytes", cfg.BlockBytes)
+		art.SetConfig("cache_policy", cfg.Policy)
+		art.SetConfig("buffer_depth", *depth)
+		art.SetConfig("silent_elision_disabled", *noSilent)
+		art.SetConfig("count_fill_traffic", *countFills)
+		art.SetConfig("vdd", *voltage)
+		art.SetConfig("freq_mhz", *freq)
+		art.AddController(res)
+		art.SetMetric("accesses_per_request", res.AccessesPerRequest())
+		art.SetMetric("miss_rate", res.Cache.MissRate())
+		tp := timing.DefaultParams()
+		if trep, err := timing.Evaluate(res, tp); err == nil {
+			art.SetMetric("cpi", trep.CPI())
+			art.SetMetric("avg_read_latency_cycles", trep.AvgReadLatency)
+		}
+		if erep, err := energy.Evaluate(res, sram.OperatingPoint{VoltageV: *voltage, FreqMHz: *freq}, timing.DefaultParams()); err == nil {
+			art.SetMetric("dynamic_j", erep.DynamicJ)
+			art.SetMetric("leakage_j", erep.LeakageJ)
+		}
+		art.WallMS = float64(wall.Microseconds()) / 1e3
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
+	return nil
 }
 
-func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz float64) {
+func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz float64) error {
 	g := res.Geometry
 	fmt.Printf("source      %s\n", source)
 	fmt.Printf("cache       %s, %v replacement\n", g, cfg.Policy)
@@ -127,14 +182,18 @@ func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz 
 	t.AddRowf("reads/instr", stats.Pct(res.Requests.ReadFrac()))
 	t.AddRowf("writes/instr", stats.Pct(res.Requests.WriteFrac()))
 	t.AddRowf("miss rate", stats.Pct(res.Cache.MissRate()))
-	mustRender(t)
+	if err := render(t); err != nil {
+		return err
+	}
 
 	t = stats.NewTable("Array traffic", "metric", "value")
 	t.AddRowf("array reads", res.ArrayReads)
 	t.AddRowf("array writes", res.ArrayWrites)
 	t.AddRowf("total array accesses", res.ArrayAccesses())
 	t.AddRowf("accesses/request", res.AccessesPerRequest())
-	mustRender(t)
+	if err := render(t); err != nil {
+		return err
+	}
 
 	c := res.Counters
 	if c.BufferFills > 0 || c.TagProbes > 0 {
@@ -148,17 +207,19 @@ func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz 
 		t.AddRowf("premature write-backs", c.PrematureWBs)
 		t.AddRowf("write-backs elided (clean Dirty)", c.SilentElidedWBs)
 		t.AddRowf("bypassed reads", c.BypassedReads)
-		mustRender(t)
+		if err := render(t); err != nil {
+			return err
+		}
 	}
 
 	tp := timing.DefaultParams()
 	trep, err := timing.Evaluate(res, tp)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	erep, err := energy.Evaluate(res, sram.OperatingPoint{VoltageV: vdd, FreqMHz: freqMHz}, tp)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t = stats.NewTable(fmt.Sprintf("Modeled timing & energy (%.2fV/%.0fMHz)", vdd, freqMHz), "metric", "value")
 	t.AddRowf("CPI", fmt.Sprintf("%.4f", trep.CPI()))
@@ -168,12 +229,13 @@ func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz 
 	t.AddRowf("dynamic energy", fmt.Sprintf("%.3e J", erep.DynamicJ))
 	t.AddRowf("leakage energy", fmt.Sprintf("%.3e J", erep.LeakageJ))
 	t.AddRowf("energy/access", fmt.Sprintf("%.3f nJ", energy.PerAccessJ(erep, res.Requests.Accesses())*1e9))
-	mustRender(t)
+	return render(t)
 }
 
-func mustRender(t *stats.Table) {
+func render(t *stats.Table) error {
 	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println()
+	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
+	"cache8t/internal/report"
 	"cache8t/internal/stats"
 	"cache8t/internal/workload"
 )
@@ -42,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
 	progress := flag.Bool("progress", false, "print live job progress to stderr")
 	snap := flag.Bool("stats", false, "print the engine snapshot (JSON) to stderr at exit")
+	reportPath := flag.String("report", "", "write the sweep artifact (canonical JSON) to this path")
 	flag.Parse()
 
 	kind, err := core.ParseKind(*controller)
@@ -128,6 +130,12 @@ func main() {
 	}
 	fmt.Printf("%s reduction vs RMW — %s, %d accesses/benchmark\n\n", kind, label, *n)
 
+	start := time.Now()
+	art := report.New("sweep", *seed)
+	art.SetConfig("controller", kind)
+	art.SetConfig("bench", label)
+	art.SetConfig("n", *n)
+
 	// Grid 1: capacity x block size (fixed 4-way, LRU, depth 1).
 	sizesKB := []int{16, 32, 64, 128, 256}
 	blocks := []int{16, 32, 64, 128}
@@ -141,8 +149,9 @@ func main() {
 	t := stats.NewTable("capacity x block size (4-way, LRU)", gridCols("size \\ block", blocks)...)
 	for i, kb := range sizesKB {
 		row := []any{fmt.Sprintf("%dKB", kb)}
-		for j := range blocks {
+		for j, b := range blocks {
 			row = append(row, stats.Pct(means[i*len(blocks)+j]))
+			art.SetMetric(fmt.Sprintf("cap_block.%dKB.%dB", kb, b), means[i*len(blocks)+j])
 		}
 		t.AddRowf(row...)
 	}
@@ -159,6 +168,7 @@ func main() {
 	t = stats.NewTable("associativity (64KB, 32B blocks)", "ways", "reduction")
 	for i, w := range ways {
 		t.AddRowf(fmt.Sprintf("%d", w), stats.Pct(means[i]))
+		art.SetMetric(fmt.Sprintf("assoc.%d", w), means[i])
 	}
 	render(t)
 
@@ -172,6 +182,7 @@ func main() {
 	t = stats.NewTable("Set-Buffer depth (64KB/4w/32B)", "entries", "reduction")
 	for i, d := range depths {
 		t.AddRowf(fmt.Sprintf("%d", d), stats.Pct(means[i]))
+		art.SetMetric(fmt.Sprintf("depth.%d", d), means[i])
 	}
 	render(t)
 
@@ -189,6 +200,7 @@ func main() {
 	t = stats.NewTable("replacement policy (64KB/4w/32B)", "policy", "reduction")
 	for i, pol := range policies {
 		t.AddRowf(pol.String(), stats.Pct(means[i]))
+		art.SetMetric("policy."+pol.String(), means[i])
 	}
 	render(t)
 
@@ -198,6 +210,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%s\n", js)
+	}
+
+	if *reportPath != "" {
+		esnap := eng.Snapshot()
+		art.Engine = &esnap
+		art.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
 	}
 }
 

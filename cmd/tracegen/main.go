@@ -20,6 +20,7 @@ import (
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/pinlite"
+	"cache8t/internal/report"
 	"cache8t/internal/stats"
 	"cache8t/internal/trace"
 	"cache8t/internal/workload"
@@ -37,24 +38,38 @@ func main() {
 		out          = flag.String("o", "", "output trace file")
 		inspect      = flag.String("inspect", "", "trace file to summarize")
 		dump         = flag.Int("dump", 0, "with -inspect, dump the first N records")
+		reportPath   = flag.String("report", "", "write the generation artifact (canonical JSON) to this path")
 	)
 	flag.Parse()
 
+	var count uint64
+	var source string
+	var err error
 	switch {
 	case *inspect != "":
-		if err := inspectTrace(*inspect, *dump); err != nil {
-			log.Fatal(err)
-		}
+		err = inspectTrace(*inspect, *dump)
 	case *workloadName != "":
-		if err := generateWorkload(*workloadName, *seed, *n, *out); err != nil {
-			log.Fatal(err)
-		}
+		source = "workload:" + *workloadName
+		count, err = generateWorkload(*workloadName, *seed, *n, *out)
 	case *kernelName != "":
-		if err := generateKernel(*kernelName, uint64(*n), *out); err != nil {
-			log.Fatal(err)
-		}
+		source = "kernel:" + *kernelName
+		count, err = generateKernel(*kernelName, uint64(*n), *out)
 	default:
 		log.Fatal("need one of -workload, -kernel, or -inspect (see -h)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *reportPath != "" && source != "" {
+		art := report.New("tracegen", *seed)
+		art.SetConfig("source", source)
+		art.SetConfig("n", *n)
+		art.SetConfig("output", *out)
+		art.SetMetric("accesses_written", float64(count))
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
 	}
 }
 
@@ -65,30 +80,30 @@ func openOut(path string) (*os.File, error) {
 	return os.Create(path)
 }
 
-func generateWorkload(name string, seed uint64, n int, out string) error {
+func generateWorkload(name string, seed uint64, n int, out string) (uint64, error) {
 	gen, err := workload.Stream(name, seed)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	f, err := openOut(out)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	if strings.HasSuffix(out, ".txt") {
 		accs := trace.Collect(trace.NewLimit(gen, uint64(n)), 0)
 		if err := trace.WriteText(f, accs); err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Printf("wrote %d accesses from %s to %s (text)\n", len(accs), name, out)
-		return f.Close()
+		return uint64(len(accs)), f.Close()
 	}
 	count, err := trace.WriteAllAuto(f, gen, n, trace.IsGzipPath(out))
 	if err != nil {
-		return err
+		return count, err
 	}
 	fmt.Printf("wrote %d accesses from %s to %s\n", count, name, out)
-	return f.Close()
+	return count, f.Close()
 }
 
 func findKernel(name string) (pinlite.Kernel, error) {
@@ -104,26 +119,26 @@ func findKernel(name string) (pinlite.Kernel, error) {
 	return pinlite.Kernel{}, fmt.Errorf("unknown kernel %q (have %v)", name, names)
 }
 
-func generateKernel(name string, budget uint64, out string) error {
+func generateKernel(name string, budget uint64, out string) (uint64, error) {
 	k, err := findKernel(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	accs, err := k.Run(budget)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	f, err := openOut(out)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	count, err := trace.WriteAllAuto(f, trace.FromSlice(accs), 0, trace.IsGzipPath(out))
 	if err != nil {
-		return err
+		return count, err
 	}
 	fmt.Printf("wrote %d accesses from kernel %s (%s) to %s\n", count, k.Name, k.Description, out)
-	return f.Close()
+	return count, f.Close()
 }
 
 func inspectTrace(path string, dump int) error {

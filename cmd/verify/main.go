@@ -28,6 +28,7 @@ import (
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
+	"cache8t/internal/report"
 	"cache8t/internal/rng"
 	"cache8t/internal/trace"
 )
@@ -41,6 +42,7 @@ func main() {
 	accesses := flag.Int("n", 5000, "accesses per round")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel rounds (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-round timeout (0 = none)")
+	reportPath := flag.String("report", "", "write the run artifact (canonical JSON) to this path")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -92,6 +94,7 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	outs, err := eng.Run(ctx, jobs)
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +108,22 @@ func main() {
 	}
 	fmt.Printf("PASS: %d rounds, %d controller pairings, no divergence\n", *rounds, checked)
 	fmt.Println(eng.Snapshot())
+
+	if *reportPath != "" {
+		art := report.New("verify", *seed)
+		art.SetConfig("rounds", *rounds)
+		art.SetConfig("accesses_per_round", *accesses)
+		art.SetConfig("controller_kinds", len(kinds))
+		art.SetMetric("rounds", float64(*rounds))
+		art.SetMetric("pairings_checked", float64(checked))
+		snap := eng.Snapshot()
+		art.Engine = &snap
+		art.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := report.WriteFile(*reportPath, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
 }
 
 // randomShape draws one round's cache configuration and controller options.

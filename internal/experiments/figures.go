@@ -81,26 +81,48 @@ func Fig5(cfg Config) (*stats.Table, error) {
 	return t, nil
 }
 
+// InflationRow is one benchmark's RMW-vs-conventional array traffic:
+// absolute totals plus the relative increase, the §1 headline quantity.
+type InflationRow struct {
+	Conventional uint64
+	RMW          uint64
+	Increase     float64
+}
+
+// InflationMatrix runs every benchmark through the Conventional and RMW
+// controllers on the baseline shape and returns rows in profile order. It is
+// the machine-readable core of RMWInflation, shared with the regression
+// harness so goldens pin exactly what the table prints.
+func InflationMatrix(cfg Config) ([]InflationRow, error) {
+	return benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (InflationRow, error) {
+		res, err := core.RunAllContext(cfg.ctx(), []core.Kind{core.Conventional, core.RMW}, cfg.Cache, cfg.Opts, accs, 1)
+		if err != nil {
+			return InflationRow{}, err
+		}
+		conv, rmw := res[0].ArrayAccesses(), res[1].ArrayAccesses()
+		return InflationRow{
+			Conventional: conv,
+			RMW:          rmw,
+			Increase:     float64(rmw)/float64(conv) - 1,
+		}, nil
+	})
+}
+
 // RMWInflation reproduces the §1 claim: "RMW increases cache access
 // frequency by more than 32% on average (max 47%)" relative to a
 // conventional write path.
 func RMWInflation(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("RMW cache-access inflation vs conventional single-access writes",
 		"benchmark", "conventional", "RMW", "increase")
-	var incs []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
-		res, err := core.RunAll([]core.Kind{core.Conventional, core.RMW}, cfg.Cache, cfg.Opts, accs)
-		if err != nil {
-			return err
-		}
-		conv, rmw := res[0].ArrayAccesses(), res[1].ArrayAccesses()
-		inc := float64(rmw)/float64(conv) - 1
-		t.AddRowf(prof.Name, conv, rmw, stats.Pct(inc))
-		incs = append(incs, inc)
-		return nil
-	})
+	rows, err := InflationMatrix(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var incs []float64
+	for i, prof := range workload.Profiles() {
+		r := rows[i]
+		t.AddRowf(prof.Name, r.Conventional, r.RMW, stats.Pct(r.Increase))
+		incs = append(incs, r.Increase)
 	}
 	t.AddRowf("MEAN (measured)", "", "", stats.Pct(stats.Mean(incs)))
 	t.AddRowf("MAX (measured)", "", "", stats.Pct(stats.Max(incs)))
@@ -142,26 +164,34 @@ func Fig8Stream(g cache.Geometry) []trace.Access {
 	}
 }
 
-// redPair is one benchmark's pair of reductions, the benchMap job payload
-// for the Figure 9/10/11 family.
-type redPair struct{ wg, rb float64 }
+// ReductionPair is one benchmark's WG and WG+RB access-frequency reductions
+// versus the RMW baseline — the quantity Figures 9-11 chart.
+type ReductionPair struct{ WG, WGRB float64 }
+
+// ReductionMatrix runs every benchmark through RMW/WG/WGRB over the given
+// cache shape and returns the reduction pairs in profile order, fanned out
+// across the engine. Figures 9-11 and cmd/regress both build on it, so the
+// golden artifacts pin exactly the numbers the tables print.
+func ReductionMatrix(cfg Config, shape cache.Config) ([]ReductionPair, error) {
+	return benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (ReductionPair, error) {
+		wg, rb, err := reductions(cfg, shape, accs)
+		return ReductionPair{WG: wg, WGRB: rb}, err
+	})
+}
 
 // reductionFigure builds a Figure 9/10-style table for one cache shape. The
 // 25 benchmarks fan out across the engine; rows land in profile order.
 func reductionFigure(cfg Config, title string, shape cache.Config, paperWG, paperRB string) (*stats.Table, error) {
-	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (redPair, error) {
-		wg, rb, err := reductions(cfg, shape, accs)
-		return redPair{wg, rb}, err
-	})
+	pairs, err := ReductionMatrix(cfg, shape)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable(title, "benchmark", "WG", "WG+RB")
 	var wgs, rbs []float64
 	for i, prof := range workload.Profiles() {
-		t.AddRowf(prof.Name, stats.Pct(pairs[i].wg), stats.Pct(pairs[i].rb))
-		wgs = append(wgs, pairs[i].wg)
-		rbs = append(rbs, pairs[i].rb)
+		t.AddRowf(prof.Name, stats.Pct(pairs[i].WG), stats.Pct(pairs[i].WGRB))
+		wgs = append(wgs, pairs[i].WG)
+		rbs = append(rbs, pairs[i].WGRB)
 	}
 	t.AddRowf("MEAN (measured)", stats.Pct(stats.Mean(wgs)), stats.Pct(stats.Mean(rbs)))
 	t.AddRow("MEAN (paper)", paperWG, paperRB)
@@ -199,16 +229,16 @@ func Fig11(cfg Config) (*stats.Table, error) {
 	small.SizeBytes = 32 * 1024
 	big := cfg.Cache
 	big.SizeBytes = 128 * 1024
-	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) ([2]redPair, error) {
+	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) ([2]ReductionPair, error) {
 		ws, rs, err := reductions(cfg, small, accs)
 		if err != nil {
-			return [2]redPair{}, err
+			return [2]ReductionPair{}, err
 		}
 		wb, rb, err := reductions(cfg, big, accs)
 		if err != nil {
-			return [2]redPair{}, err
+			return [2]ReductionPair{}, err
 		}
-		return [2]redPair{{ws, rs}, {wb, rb}}, nil
+		return [2]ReductionPair{{ws, rs}, {wb, rb}}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -216,11 +246,11 @@ func Fig11(cfg Config) (*stats.Table, error) {
 	var wgS, rbS, wgB, rbB []float64
 	for i, prof := range workload.Profiles() {
 		sm, bg := pairs[i][0], pairs[i][1]
-		t.AddRowf(prof.Name, stats.Pct(sm.wg), stats.Pct(sm.rb), stats.Pct(bg.wg), stats.Pct(bg.rb))
-		wgS = append(wgS, sm.wg)
-		rbS = append(rbS, sm.rb)
-		wgB = append(wgB, bg.wg)
-		rbB = append(rbB, bg.rb)
+		t.AddRowf(prof.Name, stats.Pct(sm.WG), stats.Pct(sm.WGRB), stats.Pct(bg.WG), stats.Pct(bg.WGRB))
+		wgS = append(wgS, sm.WG)
+		rbS = append(rbS, sm.WGRB)
+		wgB = append(wgB, bg.WG)
+		rbB = append(rbB, bg.WGRB)
 	}
 	t.AddRowf("MEAN (measured)", stats.Pct(stats.Mean(wgS)), stats.Pct(stats.Mean(rbS)),
 		stats.Pct(stats.Mean(wgB)), stats.Pct(stats.Mean(rbB)))

@@ -1,0 +1,262 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cache8t/internal/stats"
+)
+
+// Tolerance is a per-metric acceptance band: a measured value passes when it
+// is within Abs of the golden value OR within Rel (a fraction of the golden
+// magnitude). Counters compare exactly with the zero Tolerance.
+type Tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+// String renders like "abs 0.005 | rel 1.0%".
+func (t Tolerance) String() string {
+	if t.Abs == 0 && t.Rel == 0 {
+		return "exact"
+	}
+	return fmt.Sprintf("abs %g | rel %g%%", t.Abs, t.Rel*100)
+}
+
+// Within reports whether got is acceptable against golden under t.
+func (t Tolerance) Within(golden, got float64) bool {
+	d := math.Abs(got - golden)
+	if d <= t.Abs {
+		return true
+	}
+	return d <= t.Rel*math.Abs(golden)
+}
+
+// Bands maps metric names to their tolerance. Longest-prefix matching lets
+// one entry like "fig9." cover a whole metric family; the empty key, when
+// present, is the default band.
+type Bands map[string]Tolerance
+
+// For resolves the band for a metric name: exact match first, then the
+// longest prefix entry, then the zero (exact-compare) tolerance.
+func (b Bands) For(name string) Tolerance {
+	if t, ok := b[name]; ok {
+		return t
+	}
+	best, bestLen := Tolerance{}, -1
+	for prefix, t := range b {
+		if strings.HasPrefix(name, prefix) && len(prefix) > bestLen {
+			best, bestLen = t, len(prefix)
+		}
+	}
+	if bestLen >= 0 {
+		return best
+	}
+	return Tolerance{}
+}
+
+// MetricDiff is one compared value.
+type MetricDiff struct {
+	Name        string
+	Golden, Got float64
+	Tol         Tolerance
+	// OK is true when Got is within Tol of Golden and the metric exists on
+	// both sides.
+	OK bool
+	// MissingGot / MissingGolden flag metrics present on only one side —
+	// always failures, because a silently dropped metric is drift too.
+	MissingGot    bool
+	MissingGolden bool
+}
+
+// Delta returns got - golden.
+func (m MetricDiff) Delta() float64 { return m.Got - m.Golden }
+
+// RelDelta returns the delta as a fraction of the golden magnitude (0 when
+// the golden is 0).
+func (m MetricDiff) RelDelta() float64 {
+	if m.Golden == 0 {
+		return 0
+	}
+	return m.Delta() / math.Abs(m.Golden)
+}
+
+// Diff is the outcome of comparing a fresh artifact against a golden.
+type Diff struct {
+	// Metrics holds every compared value in sorted name order, scalar
+	// metrics first, then per-controller counters under
+	// "counter.<controller>.<name>".
+	Metrics []MetricDiff
+	// ConfigMismatch lists config keys whose values differ — a failed run
+	// comparability check, reported before any metric is judged.
+	ConfigMismatch []string
+}
+
+// Compare diffs got against golden. Scalar metrics are judged under bands;
+// controller ledger counters compare exactly. Config differences (other than
+// hash, which Encode recomputes) are surfaced as ConfigMismatch.
+func Compare(golden, got *Artifact, bands Bands) *Diff {
+	d := &Diff{}
+	keys := map[string]bool{}
+	for k := range golden.Config {
+		keys[k] = true
+	}
+	for k := range got.Config {
+		keys[k] = true
+	}
+	for k := range keys {
+		if golden.Config[k] != got.Config[k] {
+			d.ConfigMismatch = append(d.ConfigMismatch, k)
+		}
+	}
+	sort.Strings(d.ConfigMismatch)
+
+	d.Metrics = append(d.Metrics, compareMaps(golden.Metrics, got.Metrics, "", bands)...)
+	d.Metrics = append(d.Metrics, compareLedgers(golden.Controllers, got.Controllers)...)
+	return d
+}
+
+// compareMaps diffs two metric maps under bands, prefixing names.
+func compareMaps(golden, got map[string]float64, prefix string, bands Bands) []MetricDiff {
+	names := map[string]bool{}
+	for n := range golden {
+		names[n] = true
+	}
+	for n := range got {
+		names[n] = true
+	}
+	out := make([]MetricDiff, 0, len(names))
+	for n := range names {
+		full := prefix + n
+		m := MetricDiff{Name: full, Tol: bands.For(full)}
+		gv, inGolden := golden[n]
+		mv, inGot := got[n]
+		m.Golden, m.Got = gv, mv
+		switch {
+		case !inGot:
+			m.MissingGot = true
+		case !inGolden:
+			m.MissingGolden = true
+		default:
+			m.OK = m.Tol.Within(gv, mv)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// compareLedgers exact-compares per-controller counters, keyed by controller
+// name so ordering differences don't matter.
+func compareLedgers(golden, got []ControllerLedger) []MetricDiff {
+	toMap := func(ls []ControllerLedger) map[string]map[string]uint64 {
+		m := map[string]map[string]uint64{}
+		for _, l := range ls {
+			m[l.Controller] = l.Counters
+		}
+		return m
+	}
+	gm, tm := toMap(golden), toMap(got)
+	names := map[string]bool{}
+	for n := range gm {
+		names[n] = true
+	}
+	for n := range tm {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []MetricDiff
+	for _, ctrl := range sorted {
+		gf := map[string]float64{}
+		for k, v := range gm[ctrl] {
+			gf[k] = float64(v)
+		}
+		tf := map[string]float64{}
+		for k, v := range tm[ctrl] {
+			tf[k] = float64(v)
+		}
+		// Sides missing the controller entirely produce all-missing rows.
+		out = append(out, compareMaps(gf, tf, "counter."+ctrl+".", Bands{})...)
+	}
+	return out
+}
+
+// OK reports whether nothing drifted: configs comparable and every metric in
+// band.
+func (d *Diff) OK() bool {
+	if len(d.ConfigMismatch) > 0 {
+		return false
+	}
+	for _, m := range d.Metrics {
+		if !m.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the out-of-band metrics.
+func (d *Diff) Failures() []MetricDiff {
+	var out []MetricDiff
+	for _, m := range d.Metrics {
+		if !m.OK {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Table renders the diff as a readable per-metric table. When full is false,
+// only failing rows appear (plus a summary row), which is the CI-friendly
+// shape: silence on green, a focused table on drift.
+func (d *Diff) Table(title string, full bool) *stats.Table {
+	t := stats.NewTable(title, "metric", "golden", "measured", "delta", "rel", "tolerance", "status")
+	for _, key := range d.ConfigMismatch {
+		t.AddRow("config:"+key, "", "", "", "", "", "MISMATCH")
+	}
+	shown, failed := 0, 0
+	for _, m := range d.Metrics {
+		if !m.OK {
+			failed++
+		}
+		if m.OK && !full {
+			continue
+		}
+		status := "ok"
+		switch {
+		case m.MissingGot:
+			status = "MISSING (not measured)"
+		case m.MissingGolden:
+			status = "EXTRA (no golden)"
+		case !m.OK:
+			status = "DRIFT"
+		}
+		t.AddRow(m.Name,
+			fmtVal(m.Golden, !m.MissingGolden),
+			fmtVal(m.Got, !m.MissingGot),
+			fmt.Sprintf("%+.6g", m.Delta()),
+			fmt.Sprintf("%+.3f%%", m.RelDelta()*100),
+			m.Tol.String(),
+			status)
+		shown++
+	}
+	t.AddRow(fmt.Sprintf("[%d/%d metrics shown]", shown, len(d.Metrics)),
+		"", "", "", "", "", fmt.Sprintf("%d failed", failed))
+	return t
+}
+
+func fmtVal(v float64, present bool) string {
+	if !present {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.6g", v)
+}

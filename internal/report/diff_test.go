@@ -1,0 +1,176 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToleranceWithin(t *testing.T) {
+	cases := []struct {
+		name        string
+		tol         Tolerance
+		golden, got float64
+		want        bool
+	}{
+		{"exact equal", Tolerance{}, 1.5, 1.5, true},
+		{"exact unequal", Tolerance{}, 1.5, 1.5000001, false},
+		{"abs inside", Tolerance{Abs: 0.01}, 1.0, 1.009, true},
+		{"abs outside", Tolerance{Abs: 0.01}, 1.0, 1.011, false},
+		{"rel inside", Tolerance{Rel: 0.05}, 100, 104, true},
+		{"rel outside", Tolerance{Rel: 0.05}, 100, 106, false},
+		{"rel with negative golden", Tolerance{Rel: 0.05}, -100, -104, true},
+		{"abs rescues rel at zero golden", Tolerance{Abs: 0.001, Rel: 0.05}, 0, 0.0005, true},
+		{"rel useless at zero golden", Tolerance{Rel: 0.05}, 0, 0.0005, false},
+	}
+	for _, c := range cases {
+		if got := c.tol.Within(c.golden, c.got); got != c.want {
+			t.Errorf("%s: Within(%g, %g) = %v, want %v", c.name, c.golden, c.got, got, c.want)
+		}
+	}
+}
+
+func TestBandsLongestPrefix(t *testing.T) {
+	b := Bands{
+		"":           {Abs: 1},
+		"mean.":      {Abs: 0.1},
+		"mean.wgrb.": {Abs: 0.01},
+	}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"other_metric", 1},     // default band
+		{"mean.wg", 0.1},        // "mean." prefix
+		{"mean.wgrb.low", 0.01}, // longest prefix wins
+		{"meanwhile", 1},        // "mean" is not a prefix entry; falls to default
+	}
+	for _, c := range cases {
+		if got := b.For(c.name).Abs; got != c.want {
+			t.Errorf("For(%q).Abs = %g, want %g", c.name, got, c.want)
+		}
+	}
+	// No bands at all → zero tolerance (exact compare).
+	if tol := (Bands{}).For("anything"); tol.Abs != 0 || tol.Rel != 0 {
+		t.Errorf("empty Bands.For = %+v, want zero", tol)
+	}
+}
+
+func diffArtifacts(mutate func(golden, got *Artifact), bands Bands) *Diff {
+	golden := New("test", 1)
+	golden.SetConfig("n", 100)
+	got := New("test", 1)
+	got.SetConfig("n", 100)
+	mutate(golden, got)
+	return Compare(golden, got, bands)
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		golden.SetMetric("x", 1.0)
+		got.SetMetric("x", 1.0004)
+	}, Bands{"": {Abs: 0.001}})
+	if !d.OK() {
+		t.Fatalf("in-band diff not OK: %+v", d.Failures())
+	}
+}
+
+func TestCompareDrift(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		golden.SetMetric("x", 1.0)
+		got.SetMetric("x", 1.5)
+	}, Bands{"": {Abs: 0.001}})
+	if d.OK() {
+		t.Fatal("out-of-band diff reported OK")
+	}
+	f := d.Failures()
+	if len(f) != 1 || f[0].Name != "x" {
+		t.Fatalf("failures = %+v, want single drift on x", f)
+	}
+}
+
+func TestCompareMissingAndExtraMetrics(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		golden.SetMetric("only_golden", 1)
+		got.SetMetric("only_got", 2)
+	}, Bands{"": {Abs: 100}}) // generous band: missing must fail regardless
+	if d.OK() {
+		t.Fatal("one-sided metrics reported OK")
+	}
+	byName := map[string]MetricDiff{}
+	for _, m := range d.Metrics {
+		byName[m.Name] = m
+	}
+	if !byName["only_golden"].MissingGot {
+		t.Fatalf("only_golden should be MissingGot: %+v", byName["only_golden"])
+	}
+	if !byName["only_got"].MissingGolden {
+		t.Fatalf("only_got should be MissingGolden: %+v", byName["only_got"])
+	}
+}
+
+func TestCompareConfigMismatch(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		got.SetConfig("n", 999) // differs from golden's 100
+		got.SetConfig("extra", true)
+	}, nil)
+	if d.OK() {
+		t.Fatal("config mismatch reported OK")
+	}
+	want := []string{"extra", "n"}
+	if len(d.ConfigMismatch) != len(want) {
+		t.Fatalf("ConfigMismatch = %v, want %v", d.ConfigMismatch, want)
+	}
+	for i, k := range want {
+		if d.ConfigMismatch[i] != k {
+			t.Fatalf("ConfigMismatch = %v, want %v", d.ConfigMismatch, want)
+		}
+	}
+}
+
+func TestCompareLedgerCountersExact(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		golden.Controllers = []ControllerLedger{{
+			Controller: "WG",
+			Counters:   map[string]uint64{"array_writes": 100, "tag_hits": 50},
+		}}
+		got.Controllers = []ControllerLedger{{
+			Controller: "WG",
+			Counters:   map[string]uint64{"array_writes": 101, "tag_hits": 50},
+		}}
+	}, Bands{"": {Abs: 1000}}) // scalar bands must not leak into counters
+	f := d.Failures()
+	if len(f) != 1 || f[0].Name != "counter.WG.array_writes" {
+		t.Fatalf("failures = %+v, want exactly counter.WG.array_writes", f)
+	}
+	if f[0].Tol != (Tolerance{}) {
+		t.Fatalf("counter compared with non-exact tolerance %+v", f[0].Tol)
+	}
+}
+
+func TestDiffTableShowsDrift(t *testing.T) {
+	d := diffArtifacts(func(golden, got *Artifact) {
+		golden.SetMetric("good", 1)
+		got.SetMetric("good", 1)
+		golden.SetMetric("bad", 1)
+		got.SetMetric("bad", 2)
+	}, nil)
+	var sb strings.Builder
+	if err := d.Table("drift check", false).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "DRIFT") || !strings.Contains(out, "bad") {
+		t.Fatalf("table missing drift row:\n%s", out)
+	}
+	if strings.Contains(out, "\n| good") {
+		t.Fatalf("non-full table should hide passing rows:\n%s", out)
+	}
+	// Full mode shows the passing row too.
+	sb.Reset()
+	if err := d.Table("drift check", true).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "good") {
+		t.Fatalf("full table missing passing row:\n%s", sb.String())
+	}
+}
