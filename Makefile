@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench check fmt-check regress golden-update fuzz-smoke ci
+.PHONY: build test vet race bench bench-core check fmt-check regress golden-update fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Hot-path throughput ledger: run the controller over the same binary trace
+# materialized and streamed, verify identical results, append the pair to
+# BENCH_core.json. A ratio drifting below 1.0 is a streaming-path regression.
+bench-core:
+	$(GO) run ./cmd/benchcore
 
 check: build vet race
 
@@ -42,6 +48,7 @@ golden-update:
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzBatcher -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
 
 ci: build vet fmt-check race regress fuzz-smoke

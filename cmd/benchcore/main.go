@@ -1,0 +1,56 @@
+// Command benchcore measures the controller hot path in both execution modes
+// — materialized slice replay vs the batched streaming pipeline decoding a
+// binary trace — verifies the two produce identical results, and appends the
+// throughput pair to BENCH_core.json. The accumulated file is the
+// streamed-vs-materialized performance trajectory across commits: a ratio
+// drifting below 1.0 means the streaming path has picked up overhead the
+// equivalence tests cannot see.
+//
+// Usage:
+//
+//	benchcore                   1M accesses, append to BENCH_core.json
+//	benchcore -n 100000         quicker run (CI smoke uses this)
+//	benchcore -out /tmp/b.json  append elsewhere
+//
+// Exit status: 0 appended, 1 harness or divergence error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"cache8t/internal/regress"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcore: ")
+
+	def := regress.DefaultOptions()
+	n := flag.Int("n", 1_000_000, "accesses to replay per mode")
+	seed := flag.Uint64("seed", def.Seed, "workload seed")
+	out := flag.String("out", "BENCH_core.json", "throughput trajectory file to append to")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := regress.DefaultOptions()
+	opts.N = *n
+	opts.Seed = *seed
+	opts.Context = ctx
+
+	entry, err := regress.CoreBench(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := regress.AppendCoreBench(*out, entry); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchcore: appended to %s: materialized %.0f acc/s, streamed %.0f acc/s (ratio %.3f, %s/%s, n=%d)\n",
+		*out, entry.MaterializedAccPS, entry.StreamedAccPS, entry.Ratio, entry.Workload, entry.Controller, entry.N)
+}

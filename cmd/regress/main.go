@@ -11,6 +11,8 @@
 //	regress fig9 fig10          only those checks
 //	regress -update             regenerate the goldens intentionally
 //	regress -full               show passing metrics too
+//	regress -stream             rebuild from streamed traces (same numbers,
+//	                            constant memory per benchmark)
 //	regress -bench              append engine serial-vs-parallel throughput
 //	                            to BENCH_regress.json (perf trajectory)
 //
@@ -40,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	update := flag.Bool("update", false, "regenerate goldens instead of diffing")
 	full := flag.Bool("full", false, "render passing metrics in diff tables too")
+	stream := flag.Bool("stream", false, "rebuild artifacts from streamed traces (constant memory; same numbers)")
 	bench := flag.Bool("bench", false, "measure serial-vs-parallel engine throughput and append it to -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_regress.json", "throughput trajectory file for -bench")
 	flag.Parse()
@@ -54,6 +57,7 @@ func main() {
 		Workers:   *workers,
 		Update:    *update,
 		Full:      *full,
+		Stream:    *stream,
 		Context:   ctx,
 		Out:       os.Stdout,
 	}

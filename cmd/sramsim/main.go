@@ -6,14 +6,17 @@
 //
 //	sramsim -workload bwaves -controller wgrb -n 1000000
 //	sramsim -trace requests.c8tt -controller rmw
+//	sramsim -trace huge.c8tt.gz -stream -batch 8192
 //	sramsim -report run.json -workload mcf
 //	sramsim -list
 //
-// The -trace flag replays a binary trace written by tracegen instead of a
-// synthetic workload; a decode error mid-stream aborts the run with a
-// non-zero exit before any results print, so CI can trust the exit code.
-// -report writes the run's canonical artifact (internal/report) for the
-// regression tooling.
+// The -trace flag replays a trace file (binary C8TT, gzipped, or text — the
+// framing is sniffed) instead of a synthetic workload; a decode error
+// mid-stream aborts the run with a non-zero exit before any results print,
+// so CI can trust the exit code. -stream runs the batched streaming pipeline
+// — results are identical, memory stays constant no matter the trace size —
+// and -batch tunes its batch length. -report writes the run's canonical
+// artifact (internal/report) for the regression tooling.
 package main
 
 import (
@@ -60,6 +63,8 @@ func run() error {
 		voltage      = flag.Float64("vdd", 1.0, "operating voltage for the energy report")
 		freq         = flag.Float64("freq", 2000, "operating frequency in MHz")
 		reportPath   = flag.String("report", "", "write the run artifact (canonical JSON) to this path")
+		streamMode   = flag.Bool("stream", false, "run on the batched streaming pipeline (constant memory; same results)")
+		batch        = flag.Int("batch", 0, "streaming batch size in accesses (0 = default, implies -stream when set)")
 		list         = flag.Bool("list", false, "list bundled workloads and exit")
 	)
 	flag.Parse()
@@ -90,8 +95,12 @@ func run() error {
 		CountFillTraffic:     *countFills,
 	}
 
+	if *batch != 0 {
+		*streamMode = true
+	}
+
 	var stream trace.Stream
-	var reader *trace.Reader
+	var errStream trace.ErrStream
 	var sourceName string
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -99,11 +108,13 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		reader, err = trace.NewAutoReader(f)
+		// Sniffs gzip, binary C8TT, or text framing; the run never holds more
+		// than one decoded batch of the file.
+		errStream, err = trace.NewAnyReader(f)
 		if err != nil {
 			return err
 		}
-		stream = reader
+		stream = errStream
 		sourceName = *traceFile
 		*n = 0 // replay fully
 	} else {
@@ -116,16 +127,26 @@ func run() error {
 	}
 
 	start := time.Now()
-	res, err := core.Run(kind, cfg, opts, stream, *n)
-	if err != nil {
-		return err
-	}
-	// A trace that stops decoding mid-stream ends the run exactly like a
-	// clean EOF, so the decode error must be checked — and fail the command —
-	// before any result is presented as trustworthy.
-	if reader != nil {
-		if err := reader.Err(); err != nil {
-			return fmt.Errorf("trace decode (after %d accesses): %w", res.Requests.Accesses(), err)
+	var res core.Result
+	if *streamMode {
+		// The streaming entry point surfaces decode failures itself, with the
+		// clean-access count attached.
+		res, err = core.RunStream(kind, cfg, opts, stream, *n, *batch)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = core.Run(kind, cfg, opts, stream, *n)
+		if err != nil {
+			return err
+		}
+		// A trace that stops decoding mid-stream ends the run exactly like a
+		// clean EOF, so the decode error must be checked — and fail the
+		// command — before any result is presented as trustworthy.
+		if errStream != nil {
+			if err := errStream.Err(); err != nil {
+				return fmt.Errorf("trace decode (after %d accesses): %w", res.Requests.Accesses(), err)
+			}
 		}
 	}
 	wall := time.Since(start)

@@ -11,6 +11,8 @@
 //	sweep -n 200000 -controller wg only the WG reduction
 //	sweep -workers 8 -progress     8-way parallel with live progress
 //	sweep -timeout 30s -stats      per-job timeout, engine snapshot at exit
+//	sweep -stream                  regenerate traces per job (constant memory,
+//	                               identical tables)
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
 	progress := flag.Bool("progress", false, "print live job progress to stderr")
 	snap := flag.Bool("stats", false, "print the engine snapshot (JSON) to stderr at exit")
+	streamMode := flag.Bool("stream", false, "stream each job's trace instead of materializing (constant memory; same tables)")
 	reportPath := flag.String("report", "", "write the sweep artifact (canonical JSON) to this path")
 	flag.Parse()
 
@@ -63,12 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Materialize each stream once; every grid point replays the same
-	// accesses.
-	streams, err := workload.MaterializeContext(ctx, profiles, *seed, *n, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One Source per benchmark, shared across every grid point. Materialized
+	// mode caches the slice on first use (sync.Once, so concurrent jobs are
+	// fine); -stream regenerates the deterministic trace inside each job
+	// instead, so memory stays flat no matter how large -n gets.
+	srcs := workload.Sources(profiles, *seed, *n, *streamMode)
 
 	ecfg := engine.Config{Workers: *workers, JobTimeout: *timeout}
 	if *progress {
@@ -87,16 +89,16 @@ func main() {
 	// (cell, benchmark) pair, and averages per cell. Jobs land by
 	// submission index, so the tables are identical for any -workers.
 	meanReductions := func(cells []cell) []float64 {
-		jobs := make([]engine.Job[float64], 0, len(cells)*len(streams))
+		jobs := make([]engine.Job[float64], 0, len(cells)*len(srcs))
 		for ci, c := range cells {
 			c := c
-			for si, accs := range streams {
-				accs := accs
+			for si, src := range srcs {
+				src := src
 				jobs = append(jobs, engine.Job[float64]{
 					Label:  fmt.Sprintf("cell%d/%s", ci, profiles[si].Name),
-					Weight: 2 * int64(len(accs)),
+					Weight: 2 * int64(*n),
 					Fn: func(jctx context.Context) (float64, error) {
-						res, err := core.RunAllContext(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, accs, 1)
+						res, err := core.RunEachStream(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, src.Stream, 0, 0)
 						if err != nil {
 							return 0, err
 						}
@@ -116,10 +118,10 @@ func main() {
 		means := make([]float64, len(cells))
 		for ci := range cells {
 			var sum float64
-			for si := range streams {
-				sum += vals[ci*len(streams)+si]
+			for si := range srcs {
+				sum += vals[ci*len(srcs)+si]
 			}
-			means[ci] = sum / float64(len(streams))
+			means[ci] = sum / float64(len(srcs))
 		}
 		return means
 	}

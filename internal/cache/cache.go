@@ -333,6 +333,27 @@ func (c *Cache) SnapshotSet(s int) []Line {
 	return out
 }
 
+// SnapshotSetInto copies set s into dst, reusing dst's line buffers — the
+// steady-state Set-Buffer refill, which must not allocate on the hot path.
+// dst must have come from SnapshotSet on a cache of the same shape; anything
+// else (nil included) falls back to a fresh snapshot.
+func (c *Cache) SnapshotSetInto(s int, dst []Line) []Line {
+	src := c.sets[s]
+	if len(dst) != len(src) {
+		return c.SnapshotSet(s)
+	}
+	for w := range src {
+		data := dst[w].Data
+		if len(data) != c.geom.BlockBytes {
+			return c.SnapshotSet(s)
+		}
+		copy(data, src[w].Data)
+		dst[w] = src[w]
+		dst[w].Data = data
+	}
+	return dst
+}
+
 // RestoreSet copies buffered lines back into set s — the Set-Buffer
 // write-back. Only data and dirty bits move; the protocol in internal/core
 // guarantees no structural (tag/valid) change can occur while a set is

@@ -30,7 +30,7 @@ type coalesceController struct {
 // Access processes one request.
 func (c *coalesceController) Access(a trace.Access) uint64 {
 	c.note(a)
-	g := c.cache.Geometry()
+	g := c.geom
 	base := g.BlockBase(a.Addr)
 	straddles := g.BlockOffset(a.Addr)+int(a.Size) > g.BlockBytes
 
@@ -64,7 +64,7 @@ func (c *coalesceController) Access(a trace.Access) uint64 {
 		c.flushPending()
 		c.array.RMW()
 		c.cache.WriteWord(set, way, a.Addr, a.Size, a.Data)
-		return c.cache.ReadWord(set, way, a.Addr, a.Size)
+		return a.Data & sizeMask(a.Size)
 	}
 
 	if !c.pendingValid || base != c.pendingBase {
@@ -82,7 +82,7 @@ func (c *coalesceController) Access(a trace.Access) uint64 {
 	} else {
 		c.pendingDirty = true
 	}
-	return c.cache.ReadWord(set, way, a.Addr, a.Size)
+	return a.Data & sizeMask(a.Size)
 }
 
 // flushPending retires the pending block. The merge into a bit-interleaved

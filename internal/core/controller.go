@@ -215,7 +215,7 @@ func New(kind Kind, c *cache.Cache, opts Options) (Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := base{kind: kind, cache: c, array: arr, opts: opts}
+	base := base{kind: kind, cache: c, geom: c.Geometry(), array: arr, opts: opts}
 	switch kind {
 	case Conventional, WordGranularity:
 		return &directController{base: base}, nil
@@ -259,8 +259,12 @@ func newArrayFor(kind Kind, g cache.Geometry) (*sram.Array, error) {
 
 // base carries the state every controller shares.
 type base struct {
-	kind     Kind
-	cache    *cache.Cache
+	kind  Kind
+	cache *cache.Cache
+	// geom is the cache geometry hoisted out of the per-access path: Access
+	// runs once per trace entry, and the method call plus struct copy of
+	// cache.Geometry() is measurable there.
+	geom     cache.Geometry
 	array    *sram.Array
 	opts     Options
 	requests trace.Stats
@@ -277,6 +281,17 @@ func (b *base) note(a trace.Access) {
 	} else {
 		b.counters.DemandWrites++
 	}
+}
+
+// sizeMask selects the low size bytes of a data word. After a write commits,
+// the stored value is exactly a.Data & sizeMask(a.Size) — cache.WriteWord
+// stores those bytes verbatim (spill included) — so controllers return the
+// mask instead of paying a ReadWord per store.
+func sizeMask(size uint8) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*size) - 1
 }
 
 // writeAround handles a write under the no-write-allocate policy: if the

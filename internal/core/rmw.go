@@ -26,7 +26,7 @@ func (c *directController) Access(a trace.Access) uint64 {
 	}
 	c.array.DirectWrite()
 	c.cache.WriteWord(set, way, a.Addr, a.Size, a.Data)
-	return c.cache.ReadWord(set, way, a.Addr, a.Size)
+	return a.Data & sizeMask(a.Size)
 }
 
 // Finalize returns the run result.
@@ -63,7 +63,7 @@ func (c *rmwController) Access(a trace.Access) uint64 {
 	}
 	c.array.RMW()
 	c.cache.WriteWord(set, way, a.Addr, a.Size, a.Data)
-	return c.cache.ReadWord(set, way, a.Addr, a.Size)
+	return a.Data & sizeMask(a.Size)
 }
 
 // Finalize returns the run result.

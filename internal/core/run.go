@@ -16,15 +16,16 @@ func Run(kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Re
 	return RunContext(context.Background(), kind, cfg, opts, s, max)
 }
 
-// cancelCheckInterval is how many accesses RunContext simulates between
-// context polls — frequent enough that cancellation lands within
-// microseconds, rare enough to stay invisible in profiles.
-const cancelCheckInterval = 4096
-
-// RunContext is Run with cancellation: the simulation polls ctx every few
-// thousand accesses and abandons the run with ctx's error once it is
-// cancelled or past its deadline. This is what gives engine jobs prompt,
-// mid-simulation cancellation instead of job-boundary granularity.
+// RunContext is Run with cancellation: the simulation polls ctx once per
+// batch (trace.DefaultBatchSize accesses) and abandons the run with ctx's
+// error once it is cancelled or past its deadline. This is what gives engine
+// jobs prompt, mid-simulation cancellation instead of job-boundary
+// granularity.
+//
+// RunContext runs on the same batched Driver as RunStreamContext; the only
+// difference is error handling — for compatibility with callers that check
+// the reader's Err themselves, a stream that stops early is treated as
+// exhausted rather than failed. New code should prefer RunStreamContext.
 func RunContext(ctx context.Context, kind Kind, cfg cache.Config, opts Options, s trace.Stream, max int) (Result, error) {
 	c, err := cache.New(cfg, mem.New())
 	if err != nil {
@@ -34,19 +35,22 @@ func RunContext(ctx context.Context, kind Kind, cfg cache.Config, opts Options, 
 	if err != nil {
 		return Result{}, err
 	}
-	n := 0
-	for max <= 0 || n < max {
-		if n%cancelCheckInterval == 0 && ctx.Err() != nil {
+	if max > 0 {
+		s = trace.NewLimit(s, uint64(max))
+	}
+	d := NewDriver(ctrl)
+	b := trace.NewBatcher(s, batchSizeFor(max, 0))
+	for {
+		if ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
-		a, ok := s.Next()
+		batch, ok := b.Next()
 		if !ok {
 			break
 		}
-		ctrl.Access(a)
-		n++
+		d.Feed(batch)
 	}
-	return ctrl.Finalize(), nil
+	return d.Finish(), nil
 }
 
 // RunAll runs the same access slice through several controller kinds, each

@@ -143,7 +143,7 @@ func (c *wgController) probeTagBuffer(set int, tag uint64) (idx int, hit bool) {
 // Access processes one request per Algorithm 1 (WG) or §4.2 (WG+RB).
 func (c *wgController) Access(a trace.Access) uint64 {
 	c.note(a)
-	g := c.cache.Geometry()
+	g := c.geom
 	if g.BlockOffset(a.Addr)+int(a.Size) > g.BlockBytes {
 		return c.straddleFallback(a)
 	}
@@ -166,7 +166,7 @@ func (c *wgController) read(a trace.Access, set int, tag uint64) uint64 {
 			c.array.Record(sram.EvSetBufRead, 1)
 			c.cache.Ensure(a.Addr, false) // functional hit + LRU touch
 			way := c.wayOf(sb, tag)
-			val := lineReadWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size)
+			val := lineReadWord(&sb.lines[way], c.geom, a.Addr, a.Size)
 			c.touchMRU(idx)
 			return val
 		}
@@ -212,7 +212,7 @@ func (c *wgController) write(a trace.Access, set int, tag uint64) uint64 {
 	sb := &c.buffers[idx]
 	sb.writes++
 	way := c.wayOf(sb, tag)
-	silent := lineWriteWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size, a.Data)
+	silent := lineWriteWord(&sb.lines[way], c.geom, a.Addr, a.Size, a.Data)
 	c.array.Record(sram.EvSilentCompare, 1)
 	if silent {
 		c.counters.SilentWrites++
@@ -225,11 +225,11 @@ func (c *wgController) write(a trace.Access, set int, tag uint64) uint64 {
 		// makes the buffer dirty.
 		sb.dirty = true
 	}
-	// Read the stored value before touchMRU shuffles the buffer slots out
-	// from under the sb pointer.
-	val := lineReadWord(&sb.lines[way], c.cache.Geometry(), a.Addr, a.Size)
 	c.touchMRU(idx)
-	return val
+	// The buffered line now holds the low Size bytes of Data verbatim
+	// (straddles were diverted before buffering), so the stored value needs
+	// no read-back.
+	return a.Data & sizeMask(a.Size)
 }
 
 // allocateBuffer evicts the LRU Set-Buffer entry (writing it back if dirty),
@@ -250,11 +250,14 @@ func (c *wgController) allocateBuffer(a trace.Access) int {
 	set, _, _ := c.cache.Ensure(a.Addr, true)
 	c.array.RMWReadPhase() // "Fill the Set-Buffer by read row"
 	c.counters.BufferFills++
-	c.buffers[victim] = setBuffer{
-		valid: true,
-		set:   set,
-		lines: c.cache.SnapshotSet(set),
-	}
+	sb := &c.buffers[victim]
+	// Refill in place: SnapshotSetInto reuses the entry's line buffers, so
+	// steady-state buffer turnover allocates nothing.
+	sb.lines = c.cache.SnapshotSetInto(set, sb.lines)
+	sb.valid = true
+	sb.set = set
+	sb.dirty = false
+	sb.writes = 0
 	return victim
 }
 
@@ -276,7 +279,7 @@ func (c *wgController) straddleFallback(a trace.Access) uint64 {
 	}
 	c.array.RMW()
 	c.cache.WriteWord(set, way, a.Addr, a.Size, a.Data)
-	return c.cache.ReadWord(set, way, a.Addr, a.Size)
+	return a.Data & sizeMask(a.Size)
 }
 
 // Finalize drains every Set-Buffer entry and returns the run result.

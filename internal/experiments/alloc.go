@@ -5,7 +5,6 @@ import (
 
 	"cache8t/internal/core"
 	"cache8t/internal/stats"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -23,9 +22,9 @@ func Alloc(cfg Config) (*stats.Table, error) {
 		shape.NoWriteAllocate = noAlloc
 		var rmwSum, rbSum, redSum float64
 		n := 0
-		err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 			n++
-			res, err := core.RunAll([]core.Kind{core.RMW, core.WGRB}, shape, cfg.Opts, accs)
+			res, err := runKinds(cfg, []core.Kind{core.RMW, core.WGRB}, shape, cfg.Opts, src)
 			if err != nil {
 				return err
 			}

@@ -14,7 +14,6 @@ import (
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
 	"cache8t/internal/stats"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -35,6 +34,12 @@ type Config struct {
 	// one per CPU). Tables are identical for every value — the engine
 	// aggregates by submission index — so this is purely a speed knob.
 	Workers int
+	// Stream runs every benchmark from a freshly opened generator stream
+	// instead of a materialized slice, so memory stays constant regardless of
+	// AccessesPerBench. Generators are deterministic, so tables are
+	// bit-identical in both modes; streaming trades the one-time generation
+	// cost per re-open for the slice's footprint.
+	Stream bool
 	// Context, when non-nil, cancels in-flight simulations; cmd/figures
 	// wires its -timeout flag here.
 	Context context.Context
@@ -114,56 +119,90 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
-// forEachBench runs fn over every benchmark profile with its stream. The
-// streams are materialized up front through the engine (parallel across
-// profiles); fn itself runs serially in profile order because the callers'
-// closures append table rows in place.
-func forEachBench(cfg Config, fn func(prof workload.Profile, accs []trace.Access) error) error {
-	profs := workload.Profiles()
-	streams, err := workload.MaterializeContext(cfg.ctx(), profs, cfg.Seed, cfg.AccessesPerBench, cfg.Workers)
-	if err != nil {
-		return fmt.Errorf("experiments: %w", err)
+// sources builds one trace source per benchmark profile in cfg's mode:
+// materialized (replayable cached slices) or streaming (fresh generators per
+// open, constant memory).
+func (c Config) sources() []*workload.Source {
+	return workload.Sources(workload.Profiles(), c.Seed, c.AccessesPerBench, c.Stream)
+}
+
+// forEachBench runs fn over every benchmark profile with its trace source.
+// In materialized mode the slices are generated up front through the engine
+// (parallel across profiles) exactly as before sources existed; fn itself
+// runs serially in profile order because the callers' closures append table
+// rows in place.
+func forEachBench(cfg Config, fn func(prof workload.Profile, src *workload.Source) error) error {
+	srcs := cfg.sources()
+	if !cfg.Stream {
+		jobs := make([]engine.Job[int], len(srcs))
+		for i, src := range srcs {
+			src := src
+			jobs[i] = engine.Job[int]{
+				Label:  src.Profile().Name,
+				Weight: int64(cfg.AccessesPerBench),
+				Fn: func(context.Context) (int, error) {
+					accs, err := src.Accesses()
+					return len(accs), err
+				},
+			}
+		}
+		if _, err := engine.Map(cfg.ctx(), engine.Config{Workers: cfg.Workers}, jobs); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
 	}
-	for i, prof := range profs {
-		if err := fn(prof, streams[i]); err != nil {
-			return fmt.Errorf("experiments: %s: %w", prof.Name, err)
+	for _, src := range srcs {
+		if err := fn(src.Profile(), src); err != nil {
+			return fmt.Errorf("experiments: %s: %w", src.Profile().Name, err)
 		}
 	}
 	return nil
 }
 
 // benchMap fans fn out across the benchmark suite on the engine — one job
-// per profile, covering both stream materialization and simulation — and
-// returns the per-benchmark values in profile order. It is the parallel
-// counterpart of forEachBench for experiments whose per-benchmark work is
-// pure, and the path the heavy reduction figures run on.
-func benchMap[T any](cfg Config, fn func(prof workload.Profile, accs []trace.Access) (T, error)) ([]T, error) {
-	profs := workload.Profiles()
-	jobs := make([]engine.Job[T], len(profs))
-	for i, prof := range profs {
-		prof := prof
+// per profile, covering both trace generation and simulation — and returns
+// the per-benchmark values in profile order. It is the parallel counterpart
+// of forEachBench for experiments whose per-benchmark work is pure, and the
+// path the heavy reduction figures run on.
+func benchMap[T any](cfg Config, fn func(prof workload.Profile, src *workload.Source) (T, error)) ([]T, error) {
+	srcs := cfg.sources()
+	jobs := make([]engine.Job[T], len(srcs))
+	for i, src := range srcs {
+		src := src
 		jobs[i] = engine.Job[T]{
-			Label:  prof.Name,
+			Label:  src.Profile().Name,
 			Weight: int64(cfg.AccessesPerBench),
 			Fn: func(ctx context.Context) (T, error) {
-				var zero T
-				accs, err := workload.Take(prof, cfg.Seed, cfg.AccessesPerBench)
-				if err != nil {
-					return zero, err
-				}
-				return fn(prof, accs)
+				return fn(src.Profile(), src)
 			},
 		}
 	}
 	return engine.Map(cfg.ctx(), engine.Config{Workers: cfg.Workers}, jobs)
 }
 
-// reductions runs the benchmark stream through RMW, WG, and WG+RB over the
+// runSource drives one controller kind over a fresh open of src on the
+// batched streaming path. Materialized sources replay their cached slice
+// (zero-copy batches), streaming sources regenerate; either way the result
+// is identical.
+func runSource(cfg Config, kind core.Kind, shape cache.Config, opts core.Options, src *workload.Source) (core.Result, error) {
+	s, err := src.Stream()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunStreamContext(cfg.ctx(), kind, shape, opts, s, 0, 0)
+}
+
+// runKinds drives several controller kinds over src, each from its own fresh
+// open, serially in kind order.
+func runKinds(cfg Config, kinds []core.Kind, shape cache.Config, opts core.Options, src *workload.Source) ([]core.Result, error) {
+	return core.RunEachStream(cfg.ctx(), kinds, shape, opts, src.Stream, 0, 0)
+}
+
+// reductions runs the benchmark trace through RMW, WG, and WG+RB over the
 // given cache shape and returns the two access-frequency reductions. The
 // three controllers run serially: callers already parallelize across
 // benchmarks, the outer axis with 25-way width.
-func reductions(cfg Config, shape cache.Config, accs []trace.Access) (wg, wgrb float64, err error) {
-	res, err := core.RunAllContext(cfg.ctx(), []core.Kind{core.RMW, core.WG, core.WGRB}, shape, cfg.Opts, accs, 1)
+func reductions(cfg Config, shape cache.Config, src *workload.Source) (wg, wgrb float64, err error) {
+	res, err := runKinds(cfg, []core.Kind{core.RMW, core.WG, core.WGRB}, shape, cfg.Opts, src)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -8,7 +8,6 @@ import (
 	"cache8t/internal/sram"
 	"cache8t/internal/stats"
 	"cache8t/internal/timing"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -62,10 +61,10 @@ func PerfPower(cfg Config) (*stats.Table, error) {
 		sums[k] = &[4]float64{}
 	}
 	n := 0
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 		n++
 		for _, k := range kinds {
-			res, err := core.Run(k, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+			res, err := runSource(cfg, k, cfg.Cache, cfg.Opts, src)
 			if err != nil {
 				return err
 			}
@@ -105,18 +104,18 @@ func AblationSilent(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("A1 — contribution of silent-write elision to WG",
 		"benchmark", "WG", "WG (no silent elision)", "delta")
 	var on, off []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
-		base, err := core.Run(core.RMW, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
+		base, err := runSource(cfg, core.RMW, cfg.Cache, cfg.Opts, src)
 		if err != nil {
 			return err
 		}
-		wgOn, err := core.Run(core.WG, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		wgOn, err := runSource(cfg, core.WG, cfg.Cache, cfg.Opts, src)
 		if err != nil {
 			return err
 		}
 		noSilent := cfg.Opts
 		noSilent.DisableSilentElision = true
-		wgOff, err := core.Run(core.WG, cfg.Cache, noSilent, trace.FromSlice(accs), 0)
+		wgOff, err := runSource(cfg, core.WG, cfg.Cache, noSilent, src)
 		if err != nil {
 			return err
 		}
@@ -147,9 +146,9 @@ func AblationDepth(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("A2 — Set-Buffer depth sweep (reduction vs RMW)", cols...)
 	sums := make([]float64, len(depths))
 	n := 0
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 		n++
-		base, err := core.Run(core.RMW, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		base, err := runSource(cfg, core.RMW, cfg.Cache, cfg.Opts, src)
 		if err != nil {
 			return err
 		}
@@ -157,7 +156,7 @@ func AblationDepth(cfg Config) (*stats.Table, error) {
 		for i, d := range depths {
 			opts := cfg.Opts
 			opts.BufferDepth = d
-			res, err := core.Run(core.WGRB, cfg.Cache, opts, trace.FromSlice(accs), 0)
+			res, err := runSource(cfg, core.WGRB, cfg.Cache, opts, src)
 			if err != nil {
 				return err
 			}
@@ -202,10 +201,10 @@ func AblationRelated(cfg Config) (*stats.Table, error) {
 		sums[k] = &[3]float64{}
 	}
 	n := 0
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 		n++
 		for _, k := range kinds {
-			res, err := core.Run(k, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+			res, err := runSource(cfg, k, cfg.Cache, cfg.Opts, src)
 			if err != nil {
 				return err
 			}

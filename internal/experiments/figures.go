@@ -16,8 +16,12 @@ func Fig3(cfg Config) (*stats.Table, error) {
 		"benchmark", "reads/instr", "writes/instr")
 	g := cfg.geometry()
 	var reads, writes []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
-		an := core.Analyze(trace.FromSlice(accs), g, 0)
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
+		s, err := src.Stream()
+		if err != nil {
+			return err
+		}
+		an := core.Analyze(s, g, 0)
 		t.AddRowf(prof.Name, stats.Pct(an.Stats.ReadFrac()), stats.Pct(an.Stats.WriteFrac()))
 		reads = append(reads, an.Stats.ReadFrac())
 		writes = append(writes, an.Stats.WriteFrac())
@@ -40,8 +44,12 @@ func Fig4(cfg Config) (*stats.Table, error) {
 		"benchmark", "RR", "RW", "WR", "WW", "same-set total")
 	g := cfg.geometry()
 	var rr, rw, wr, ww, ss []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
-		an := core.Analyze(trace.FromSlice(accs), g, 0)
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
+		s, err := src.Stream()
+		if err != nil {
+			return err
+		}
+		an := core.Analyze(s, g, 0)
 		t.AddRowf(prof.Name, stats.Pct(an.RR()), stats.Pct(an.RW()),
 			stats.Pct(an.WR()), stats.Pct(an.WW()), stats.Pct(an.SameSetFrac()))
 		rr = append(rr, an.RR())
@@ -67,8 +75,12 @@ func Fig5(cfg Config) (*stats.Table, error) {
 		"benchmark", "silent writes")
 	g := cfg.geometry()
 	var silent []float64
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
-		an := core.Analyze(trace.FromSlice(accs), g, 0)
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
+		s, err := src.Stream()
+		if err != nil {
+			return err
+		}
+		an := core.Analyze(s, g, 0)
 		t.AddRowf(prof.Name, stats.Pct(an.SilentFrac()))
 		silent = append(silent, an.SilentFrac())
 		return nil
@@ -94,8 +106,8 @@ type InflationRow struct {
 // the machine-readable core of RMWInflation, shared with the regression
 // harness so goldens pin exactly what the table prints.
 func InflationMatrix(cfg Config) ([]InflationRow, error) {
-	return benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (InflationRow, error) {
-		res, err := core.RunAllContext(cfg.ctx(), []core.Kind{core.Conventional, core.RMW}, cfg.Cache, cfg.Opts, accs, 1)
+	return benchMap(cfg, func(prof workload.Profile, src *workload.Source) (InflationRow, error) {
+		res, err := runKinds(cfg, []core.Kind{core.Conventional, core.RMW}, cfg.Cache, cfg.Opts, src)
 		if err != nil {
 			return InflationRow{}, err
 		}
@@ -173,8 +185,8 @@ type ReductionPair struct{ WG, WGRB float64 }
 // across the engine. Figures 9-11 and cmd/regress both build on it, so the
 // golden artifacts pin exactly the numbers the tables print.
 func ReductionMatrix(cfg Config, shape cache.Config) ([]ReductionPair, error) {
-	return benchMap(cfg, func(prof workload.Profile, accs []trace.Access) (ReductionPair, error) {
-		wg, rb, err := reductions(cfg, shape, accs)
+	return benchMap(cfg, func(prof workload.Profile, src *workload.Source) (ReductionPair, error) {
+		wg, rb, err := reductions(cfg, shape, src)
 		return ReductionPair{WG: wg, WGRB: rb}, err
 	})
 }
@@ -229,12 +241,12 @@ func Fig11(cfg Config) (*stats.Table, error) {
 	small.SizeBytes = 32 * 1024
 	big := cfg.Cache
 	big.SizeBytes = 128 * 1024
-	pairs, err := benchMap(cfg, func(prof workload.Profile, accs []trace.Access) ([2]ReductionPair, error) {
-		ws, rs, err := reductions(cfg, small, accs)
+	pairs, err := benchMap(cfg, func(prof workload.Profile, src *workload.Source) ([2]ReductionPair, error) {
+		ws, rs, err := reductions(cfg, small, src)
 		if err != nil {
 			return [2]ReductionPair{}, err
 		}
-		wb, rb, err := reductions(cfg, big, accs)
+		wb, rb, err := reductions(cfg, big, src)
 		if err != nil {
 			return [2]ReductionPair{}, err
 		}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"cache8t/internal/core"
 	"cache8t/internal/stats"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -21,9 +20,9 @@ func Fills(cfg Config) (*stats.Table, error) {
 		opts.CountFillTraffic = countFills
 		var wgSum, rbSum float64
 		n := 0
-		err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+		err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 			n++
-			res, err := core.RunAll([]core.Kind{core.RMW, core.WG, core.WGRB}, cfg.Cache, opts, accs)
+			res, err := runKinds(cfg, []core.Kind{core.RMW, core.WG, core.WGRB}, cfg.Cache, opts, src)
 			if err != nil {
 				return err
 			}

@@ -6,7 +6,6 @@ import (
 	"cache8t/internal/core"
 	"cache8t/internal/stats"
 	"cache8t/internal/timing"
-	"cache8t/internal/trace"
 	"cache8t/internal/workload"
 )
 
@@ -26,10 +25,14 @@ func Ports(cfg Config) (*stats.Table, error) {
 		sums[k] = &agg{}
 	}
 	n := 0
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 		n++
 		for _, k := range kinds {
-			res, log, err := core.RunLogged(k, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+			stream, err := src.Stream()
+			if err != nil {
+				return err
+			}
+			res, log, err := core.RunLogged(k, cfg.Cache, cfg.Opts, stream, 0)
 			if err != nil {
 				return err
 			}
@@ -76,9 +79,9 @@ func Groups(cfg Config) (*stats.Table, error) {
 	var meanSum float64
 	var totals [5]uint64
 	n := 0
-	err := forEachBench(cfg, func(prof workload.Profile, accs []trace.Access) error {
+	err := forEachBench(cfg, func(prof workload.Profile, src *workload.Source) error {
 		n++
-		res, err := core.Run(core.WG, cfg.Cache, cfg.Opts, trace.FromSlice(accs), 0)
+		res, err := runSource(cfg, core.WG, cfg.Cache, cfg.Opts, src)
 		if err != nil {
 			return err
 		}

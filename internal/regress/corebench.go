@@ -1,0 +1,155 @@
+package regress
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/report"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+// CoreBenchEntry is one appended record of hot-path throughput: the
+// materialized-vs-streamed trajectory BENCH_core.json accumulates across
+// commits. Both modes consume the same in-memory binary trace; "materialized"
+// decodes it fully into a slice and then replays, "streamed" decodes batch by
+// batch through the pipeline that handles traces larger than RAM. Ratio near
+// (or above) 1.0 means streaming costs nothing over decode-then-replay.
+type CoreBenchEntry struct {
+	Schema     int    `json:"schema"`
+	GitSHA     string `json:"git_sha"`
+	UnixMS     int64  `json:"unix_ms"`
+	Workload   string `json:"workload"`
+	Controller string `json:"controller"`
+	N          int    `json:"n"`
+	BatchSize  int    `json:"batch_size"`
+
+	MaterializedWallMS float64 `json:"materialized_wall_ms"`
+	MaterializedAccPS  float64 `json:"materialized_accesses_per_sec"`
+	StreamedWallMS     float64 `json:"streamed_wall_ms"`
+	StreamedAccPS      float64 `json:"streamed_accesses_per_sec"`
+	// Ratio is streamed/materialized throughput (>= 1 means streaming is at
+	// least as fast).
+	Ratio float64 `json:"ratio"`
+}
+
+// sameCoreResult reports whether two runs produced identical observable
+// results (everything golden comparisons look at; the event ledger is pinned
+// through ArrayReads/ArrayWrites plus Counters).
+func sameCoreResult(a, b core.Result) bool {
+	return a.Controller == b.Controller &&
+		a.Requests == b.Requests &&
+		a.Cache == b.Cache &&
+		a.Counters == b.Counters &&
+		a.ArrayReads == b.ArrayReads &&
+		a.ArrayWrites == b.ArrayWrites
+}
+
+// CoreBench measures the controller hot path in both execution modes over the
+// same trace and verifies the results are identical before reporting. Each
+// mode runs three times; the best wall time is kept (the usual guard against
+// scheduler noise in single-shot benchmarks).
+func CoreBench(opts Options) (CoreBenchEntry, error) {
+	const kind = core.WG
+	shape := cache.DefaultConfig()
+	prof := workload.Profiles()[0]
+	accs, err := workload.Take(prof, opts.Seed, opts.N)
+	if err != nil {
+		return CoreBenchEntry{}, err
+	}
+	var enc bytes.Buffer
+	if _, err := trace.WriteAll(&enc, trace.FromSlice(accs), 0); err != nil {
+		return CoreBenchEntry{}, err
+	}
+	data := enc.Bytes()
+
+	e := CoreBenchEntry{
+		Schema:     report.SchemaVersion,
+		GitSHA:     report.GitSHA(),
+		UnixMS:     time.Now().UnixMilli(),
+		Workload:   prof.Name,
+		Controller: kind.String(),
+		N:          opts.N,
+		BatchSize:  trace.DefaultBatchSize,
+	}
+
+	var matRes, strRes core.Result
+	best := func(run func() (core.Result, error)) (core.Result, float64, error) {
+		var res core.Result
+		bestWall := 0.0
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r, err := run()
+			wall := time.Since(start).Seconds() * 1e3
+			if err != nil {
+				return core.Result{}, 0, err
+			}
+			if i == 0 || wall < bestWall {
+				bestWall = wall
+				res = r
+			}
+		}
+		return res, bestWall, nil
+	}
+
+	matRes, e.MaterializedWallMS, err = best(func() (core.Result, error) {
+		all, err := trace.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.RunContext(opts.ctx(), kind, shape, core.Options{}, trace.FromSlice(all), 0)
+	})
+	if err != nil {
+		return e, err
+	}
+	strRes, e.StreamedWallMS, err = best(func() (core.Result, error) {
+		return core.RunStreamContext(opts.ctx(), kind, shape, core.Options{}, trace.NewReader(bytes.NewReader(data)), 0, 0)
+	})
+	if err != nil {
+		return e, err
+	}
+	if !sameCoreResult(matRes, strRes) {
+		return e, fmt.Errorf("regress: streamed and materialized runs diverged on %s/%s", prof.Name, kind)
+	}
+	if e.MaterializedWallMS > 0 {
+		e.MaterializedAccPS = float64(opts.N) / (e.MaterializedWallMS / 1e3)
+	}
+	if e.StreamedWallMS > 0 {
+		e.StreamedAccPS = float64(opts.N) / (e.StreamedWallMS / 1e3)
+	}
+	if e.MaterializedAccPS > 0 {
+		e.Ratio = e.StreamedAccPS / e.MaterializedAccPS
+	}
+	return e, nil
+}
+
+// AppendCoreBench appends entry to the JSON array at path (created when
+// missing), rewriting the file canonically — same ledger discipline as
+// AppendBench.
+func AppendCoreBench(path string, entry CoreBenchEntry) error {
+	var entries []CoreBenchEntry
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(b, &entries); err != nil {
+			return fmt.Errorf("regress: %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("regress: %w", err)
+	}
+	entries = append(entries, entry)
+	out, err := report.Canonical(entries)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("regress: %w", err)
+	}
+	return nil
+}

@@ -43,6 +43,11 @@ type Options struct {
 	Update bool
 	// Full renders passing metrics in the diff tables too.
 	Full bool
+	// Stream rebuilds every artifact from streamed traces (constant memory)
+	// instead of materialized slices. Goldens are mode-agnostic: streamed and
+	// materialized runs produce byte-identical artifacts, and CI runs both to
+	// prove it.
+	Stream bool
 	// Context cancels in-flight simulations.
 	Context context.Context
 	// Out receives progress lines and diff tables (default os.Stdout).
@@ -77,6 +82,7 @@ func (o Options) expConfig() experiments.Config {
 	cfg.Seed = o.Seed
 	cfg.Workers = o.Workers
 	cfg.Context = o.ctx()
+	cfg.Stream = o.Stream
 	return cfg
 }
 

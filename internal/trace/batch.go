@@ -1,0 +1,122 @@
+package trace
+
+// Batched streaming: the hot simulation path pulls accesses in fixed-size
+// batches instead of one interface call per access. A Batcher owns exactly
+// one reusable batch buffer, so draining a trace of any length costs a
+// constant amount of memory and no per-access allocation; sources that can
+// decode natively into a slice (the binary Reader) skip the per-access
+// Stream.Next dispatch entirely.
+
+// DefaultBatchSize is the batch length used when callers pass size <= 0.
+// 4096 accesses (96 KiB of batch buffer) amortizes interface dispatch and
+// context polls without hurting cache locality.
+const DefaultBatchSize = 4096
+
+// BatchSource is implemented by streams that can fill a caller-provided
+// slice natively, without a Stream.Next call per access. ReadBatch returns
+// how many accesses it decoded into dst; a short (possibly zero) count means
+// the source is exhausted or failed — check Err via ErrStream.
+type BatchSource interface {
+	ReadBatch(dst []Access) int
+}
+
+// ErrStream is a Stream whose source can fail mid-decode (file corruption,
+// truncation). A cleanly exhausted stream leaves Err nil.
+type ErrStream interface {
+	Stream
+	Err() error
+}
+
+// Batcher adapts any Stream into a sequence of reusable fixed-size batches.
+// The slice returned by Next aliases the Batcher's single internal buffer:
+// it is valid only until the next Next call and must not be retained or
+// mutated. Batchers are single-use and not safe for concurrent callers.
+type Batcher struct {
+	src   Stream
+	fast  BatchSource  // non-nil when src decodes batches natively
+	slice *SliceStream // non-nil when src is an in-memory slice: zero-copy
+	size  int
+	buf   []Access // allocated lazily; slice sources never need it
+	count uint64
+}
+
+// NewBatcher returns a Batcher over src with the given batch size (<= 0
+// means DefaultBatchSize). For slice sources the batches are subslices of
+// the backing array (no copy at all); for everything else a single batch
+// buffer is allocated on first use.
+func NewBatcher(src Stream, size int) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	b := &Batcher{src: src, size: size}
+	switch s := src.(type) {
+	case *SliceStream:
+		b.slice = s
+	case BatchSource:
+		b.fast = s
+	}
+	return b
+}
+
+// Next fills the internal buffer from the source and returns the filled
+// prefix. ok is false when the source is exhausted (or errored — check Err);
+// a final short batch is returned with ok true.
+func (b *Batcher) Next() ([]Access, bool) {
+	if b.slice != nil {
+		batch := b.slice.nextBatch(b.size)
+		if len(batch) == 0 {
+			return nil, false
+		}
+		b.count += uint64(len(batch))
+		return batch, true
+	}
+	if b.buf == nil {
+		b.buf = make([]Access, b.size)
+	}
+	var n int
+	if b.fast != nil {
+		n = b.fast.ReadBatch(b.buf)
+	} else {
+		for n < len(b.buf) {
+			a, ok := b.src.Next()
+			if !ok {
+				break
+			}
+			b.buf[n] = a
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, false
+	}
+	b.count += uint64(n)
+	return b.buf[:n], true
+}
+
+// Count returns the total number of accesses yielded so far.
+func (b *Batcher) Count() uint64 { return b.count }
+
+// Err surfaces the source's decode error, when the source tracks one. A
+// Batcher over an error-free source (a generator, a slice) always returns
+// nil.
+func (b *Batcher) Err() error {
+	if es, ok := b.src.(ErrStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// Drain pulls every remaining batch through fn. It stops on the first fn
+// error, and otherwise returns the source's decode error (nil for a clean
+// end of stream).
+func (b *Batcher) Drain(fn func(batch []Access) error) error {
+	for {
+		batch, ok := b.Next()
+		if !ok {
+			return b.Err()
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+	}
+}

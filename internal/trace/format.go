@@ -185,6 +185,23 @@ func (tr *Reader) Next() (Access, bool) {
 	}, true
 }
 
+// ReadBatch decodes up to len(dst) accesses into dst and returns how many it
+// produced. It implements BatchSource: a Batcher over a Reader decodes whole
+// batches with one call instead of one interface dispatch per access. A
+// short or zero count means end of trace or a decode error — check Err.
+func (tr *Reader) ReadBatch(dst []Access) int {
+	n := 0
+	for n < len(dst) {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 func truncated(err error) error {
 	if errors.Is(err, io.EOF) {
 		return io.ErrUnexpectedEOF

@@ -57,6 +57,29 @@ func NewAutoReader(r io.Reader) (*Reader, error) {
 	return NewReader(br), nil
 }
 
+// NewAnyReader returns a streaming decoder over r for any trace framing:
+// a gzip layer is unwrapped transparently, then the payload is sniffed as
+// binary (the C8TT magic) or, failing that, decoded as the text format.
+// This is what lets every CLI replay .c8tt, .c8tt.gz, and .txt traces
+// through the same batched pipeline.
+func NewAnyReader(r io.Reader) (ErrStream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(2); err == nil && len(head) == 2 &&
+		head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	// Binary header validation happens on the first Next; the sniff here
+	// only routes between the binary and text decoders.
+	if head, err := br.Peek(4); err == nil && len(head) == 4 && [4]byte(head) == magic {
+		return NewReader(br), nil
+	}
+	return NewTextReader(br), nil
+}
+
 // WriteAllAuto encodes a stream like WriteAll, gzip-compressing when
 // compress is true.
 func WriteAllAuto(w io.Writer, s Stream, max int, compress bool) (uint64, error) {

@@ -22,12 +22,44 @@ import (
 
 // ParseText decodes a text trace.
 func ParseText(r io.Reader) ([]Access, error) {
+	tr := NewTextReader(r)
 	var out []Access
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TextReader decodes the text trace format one record at a time, so text
+// traces stream through the batched pipeline like binary ones. It implements
+// ErrStream; a parse error ends the stream and is surfaced via Err.
+type TextReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+	err    error
+}
+
+// NewTextReader returns a streaming decoder over r.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{sc: bufio.NewScanner(r)}
+}
+
+// Next returns the next access. On end of input or error it reports false;
+// check Err to distinguish.
+func (tr *TextReader) Next() (Access, bool) {
+	if tr.err != nil {
+		return Access{}, false
+	}
+	for tr.sc.Scan() {
+		tr.lineNo++
+		line := tr.sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
@@ -37,15 +69,17 @@ func ParseText(r io.Reader) ([]Access, error) {
 		}
 		a, err := parseTextRecord(fields)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			tr.err = fmt.Errorf("trace: line %d: %w", tr.lineNo, err)
+			return Access{}, false
 		}
-		out = append(out, a)
+		return a, true
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	tr.err = tr.sc.Err()
+	return Access{}, false
 }
+
+// Err returns the first scan or parse error, nil after a clean end of input.
+func (tr *TextReader) Err() error { return tr.err }
 
 func parseTextRecord(fields []string) (Access, error) {
 	var a Access

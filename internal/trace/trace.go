@@ -89,6 +89,22 @@ func (s *SliceStream) Next() (Access, bool) {
 // Reset rewinds the stream to the beginning.
 func (s *SliceStream) Reset() { s.pos = 0 }
 
+// nextBatch advances past up to n accesses and returns them as a subslice of
+// the backing array — the Batcher's zero-copy path for materialized traces.
+// Callers must treat the result as read-only.
+func (s *SliceStream) nextBatch(n int) []Access {
+	if s.pos >= len(s.accesses) {
+		return nil
+	}
+	end := s.pos + n
+	if end > len(s.accesses) {
+		end = len(s.accesses)
+	}
+	batch := s.accesses[s.pos:end]
+	s.pos = end
+	return batch
+}
+
 // Limit wraps a stream and stops it after n accesses.
 type Limit struct {
 	inner Stream

@@ -189,8 +189,12 @@ func Stream(name string, seed uint64) (*Generator, error) {
 	return NewGenerator(p, seed)
 }
 
-// Take materializes the first n accesses of a fresh stream for prof.
+// Take materializes the first n accesses of a fresh stream for prof. Requests
+// beyond MaterializeCap fail fast instead of attempting the allocation.
 func Take(prof Profile, seed uint64, n int) ([]trace.Access, error) {
+	if err := CheckMaterializeCap(n); err != nil {
+		return nil, fmt.Errorf("workload: materializing %q: %w", prof.Name, err)
+	}
 	g, err := NewGenerator(prof, seed)
 	if err != nil {
 		return nil, err

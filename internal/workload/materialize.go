@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"fmt"
 
 	"cache8t/internal/engine"
 	"cache8t/internal/trace"
@@ -34,6 +35,9 @@ func Materialize(profiles []Profile, seed uint64, n int) ([][]trace.Access, erro
 // the slices come back in profile order. Generators are seeded per profile,
 // so parallel materialization is bit-identical to serial.
 func MaterializeContext(ctx context.Context, profiles []Profile, seed uint64, n int, workers int) ([][]trace.Access, error) {
+	if err := CheckMaterializeCap(n); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
 	jobs := make([]engine.Job[[]trace.Access], len(profiles))
 	for i, p := range profiles {
 		p := p
