@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core check fmt-check regress golden-update fuzz-smoke ci
+.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 bench-core:
 	$(GO) run ./cmd/benchcore
 
+# Same ledger plus the set-sharded driver over the same decode: appends a
+# sharded entry (RMW, 4 shards) to BENCH_core.json. ShardedRatio > 1 means
+# parallel replay wins; expect < 1 on single-core hosts.
+bench-shard:
+	$(GO) run ./cmd/benchcore -shards 4
+
 check: build vet race
 
 fmt-check:
@@ -39,6 +45,11 @@ fmt-check:
 # against golden/*.json. Non-zero exit + per-metric diff table on drift.
 regress:
 	$(GO) run ./cmd/regress
+
+# The same matrix set-sharded: goldens are shard-agnostic, so any drift here
+# is a sharding-equivalence bug, not a numbers change.
+regress-shard:
+	$(GO) run ./cmd/regress -shards 4
 
 # Regenerate the goldens after an intentional change to the reproduced
 # numbers. Review the golden/ diff and commit it with the change that caused
@@ -51,4 +62,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzBatcher -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
 
-ci: build vet fmt-check race regress fuzz-smoke
+ci: build vet fmt-check race regress regress-shard fuzz-smoke

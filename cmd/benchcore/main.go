@@ -4,13 +4,16 @@
 // throughput pair to BENCH_core.json. The accumulated file is the
 // streamed-vs-materialized performance trajectory across commits: a ratio
 // drifting below 1.0 means the streaming path has picked up overhead the
-// equivalence tests cannot see.
+// equivalence tests cannot see. With -shards it also times the set-sharded
+// parallel driver over the same decode and appends that third trajectory.
 //
 // Usage:
 //
 //	benchcore                   1M accesses, append to BENCH_core.json
 //	benchcore -n 100000         quicker run (CI smoke uses this)
+//	benchcore -shards 4         also bench the set-sharded driver (RMW)
 //	benchcore -out /tmp/b.json  append elsewhere
+//	benchcore -cpuprofile p.out profile the whole run
 //
 // Exit status: 0 appended, 1 harness or divergence error.
 package main
@@ -23,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 
+	"cache8t/internal/prof"
 	"cache8t/internal/regress"
 )
 
@@ -33,15 +37,25 @@ func main() {
 	def := regress.DefaultOptions()
 	n := flag.Int("n", 1_000_000, "accesses to replay per mode")
 	seed := flag.Uint64("seed", def.Seed, "workload seed")
+	shards := flag.Int("shards", 0, "also bench the set-sharded driver with this many shards")
 	out := flag.String("out", "BENCH_core.json", "throughput trajectory file to append to")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+
 	opts := regress.DefaultOptions()
 	opts.N = *n
 	opts.Seed = *seed
+	opts.Shards = *shards
 	opts.Context = ctx
 
 	entry, err := regress.CoreBench(opts)
@@ -53,4 +67,11 @@ func main() {
 	}
 	fmt.Printf("benchcore: appended to %s: materialized %.0f acc/s, streamed %.0f acc/s (ratio %.3f, %s/%s, n=%d)\n",
 		*out, entry.MaterializedAccPS, entry.StreamedAccPS, entry.Ratio, entry.Workload, entry.Controller, entry.N)
+	if entry.Shards > 1 {
+		fmt.Printf("benchcore: sharded (%d shards) %.0f acc/s (%.3fx over streamed)\n",
+			entry.Shards, entry.ShardedAccPS, entry.ShardedRatio)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		log.Fatal(err)
+	}
 }

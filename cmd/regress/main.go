@@ -13,6 +13,8 @@
 //	regress -full               show passing metrics too
 //	regress -stream             rebuild from streamed traces (same numbers,
 //	                            constant memory per benchmark)
+//	regress -shards 4           set-sharded parallel simulation (same numbers;
+//	                            CI proves sharded == serial goldens)
 //	regress -bench              append engine serial-vs-parallel throughput
 //	                            to BENCH_regress.json (perf trajectory)
 //
@@ -43,6 +45,7 @@ func main() {
 	update := flag.Bool("update", false, "regenerate goldens instead of diffing")
 	full := flag.Bool("full", false, "render passing metrics in diff tables too")
 	stream := flag.Bool("stream", false, "rebuild artifacts from streamed traces (constant memory; same numbers)")
+	shards := flag.Int("shards", 0, "set-shard parallel simulation for set-local controllers (same numbers; cross-set controllers run serially)")
 	bench := flag.Bool("bench", false, "measure serial-vs-parallel engine throughput and append it to -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_regress.json", "throughput trajectory file for -bench")
 	flag.Parse()
@@ -58,6 +61,7 @@ func main() {
 		Update:    *update,
 		Full:      *full,
 		Stream:    *stream,
+		Shards:    *shards,
 		Context:   ctx,
 		Out:       os.Stdout,
 	}

@@ -7,7 +7,9 @@
 //	sramsim -workload bwaves -controller wgrb -n 1000000
 //	sramsim -trace requests.c8tt -controller rmw
 //	sramsim -trace huge.c8tt.gz -stream -batch 8192
+//	sramsim -shards 4 -controller rmw -workload mcf
 //	sramsim -report run.json -workload mcf
+//	sramsim -cpuprofile cpu.out -memprofile mem.out -n 10000000
 //	sramsim -list
 //
 // The -trace flag replays a trace file (binary C8TT, gzipped, or text — the
@@ -15,8 +17,12 @@
 // mid-stream aborts the run with a non-zero exit before any results print,
 // so CI can trust the exit code. -stream runs the batched streaming pipeline
 // — results are identical, memory stays constant no matter the trace size —
-// and -batch tunes its batch length. -report writes the run's canonical
-// artifact (internal/report) for the regression tooling.
+// and -batch tunes its batch length. -shards partitions the cache's sets
+// across that many concurrent controller instances (implies -stream);
+// results stay byte-identical, and controllers with cross-set state log the
+// reason and run serially. -report writes the run's canonical artifact
+// (internal/report) for the regression tooling. -cpuprofile/-memprofile
+// write standard pprof profiles of the run.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
 	"cache8t/internal/energy"
+	"cache8t/internal/prof"
 	"cache8t/internal/report"
 	"cache8t/internal/sram"
 	"cache8t/internal/stats"
@@ -65,6 +72,9 @@ func run() error {
 		reportPath   = flag.String("report", "", "write the run artifact (canonical JSON) to this path")
 		streamMode   = flag.Bool("stream", false, "run on the batched streaming pipeline (constant memory; same results)")
 		batch        = flag.Int("batch", 0, "streaming batch size in accesses (0 = default, implies -stream when set)")
+		shards       = flag.Int("shards", 0, "set-shard the simulation across this many goroutines (implies -stream; same results)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		list         = flag.Bool("list", false, "list bundled workloads and exit")
 	)
 	flag.Parse()
@@ -95,9 +105,15 @@ func run() error {
 		CountFillTraffic:     *countFills,
 	}
 
-	if *batch != 0 {
+	if *batch != 0 || *shards > 1 {
 		*streamMode = true
 	}
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	var stream trace.Stream
 	var errStream trace.ErrStream
@@ -126,12 +142,19 @@ func run() error {
 		sourceName = *workloadName
 	}
 
+	if *shards > 1 {
+		if plan := core.PlanShards(kind, cfg, *shards); plan.Reason != "" {
+			log.Printf("-shards %d: %s", *shards, plan.Reason)
+		}
+	}
+
 	start := time.Now()
 	var res core.Result
 	if *streamMode {
 		// The streaming entry point surfaces decode failures itself, with the
-		// clean-access count attached.
-		res, err = core.RunStream(kind, cfg, opts, stream, *n, *batch)
+		// clean-access count attached. RunSharded degrades to the plain
+		// streaming driver whenever the plan above fell back to serial.
+		res, err = core.RunSharded(kind, cfg, opts, stream, *n, *batch, *shards)
 		if err != nil {
 			return err
 		}
@@ -187,7 +210,7 @@ func run() error {
 		}
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
-	return nil
+	return prof.WriteHeap(*memprofile)
 }
 
 func printResult(source string, cfg cache.Config, res core.Result, vdd, freqMHz float64) error {

@@ -13,6 +13,9 @@
 //	sweep -timeout 30s -stats      per-job timeout, engine snapshot at exit
 //	sweep -stream                  regenerate traces per job (constant memory,
 //	                               identical tables)
+//	sweep -shards 4                set-shard the RMW baseline inside each job
+//	                               (identical tables; WG/WGRB keep cross-set
+//	                               state and run serially)
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print live job progress to stderr")
 	snap := flag.Bool("stats", false, "print the engine snapshot (JSON) to stderr at exit")
 	streamMode := flag.Bool("stream", false, "stream each job's trace instead of materializing (constant memory; same tables)")
+	shards := flag.Int("shards", 0, "set-shard each job's set-local runs across this many goroutines (same tables)")
 	reportPath := flag.String("report", "", "write the sweep artifact (canonical JSON) to this path")
 	flag.Parse()
 
@@ -98,7 +102,7 @@ func main() {
 					Label:  fmt.Sprintf("cell%d/%s", ci, profiles[si].Name),
 					Weight: 2 * int64(*n),
 					Fn: func(jctx context.Context) (float64, error) {
-						res, err := core.RunEachStream(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, src.Stream, 0, 0)
+						res, err := runPair(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, src, *shards)
 						if err != nil {
 							return 0, err
 						}
@@ -223,6 +227,28 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
+}
+
+// runPair drives both kinds of a reduction comparison over src. Without
+// sharding they share one decode of the trace (broadcast); with -shards each
+// kind runs set-sharded over its own fresh open — RMW actually shards, the
+// WG family falls back to serial inside RunShardedContext.
+func runPair(ctx context.Context, kinds []core.Kind, cfg cache.Config, opts core.Options, src *workload.Source, shards int) ([]core.Result, error) {
+	if shards <= 1 {
+		return core.RunEachStream(ctx, kinds, cfg, opts, src.Stream, 0, 0)
+	}
+	out := make([]core.Result, len(kinds))
+	for i, k := range kinds {
+		s, err := src.Stream()
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = core.RunShardedContext(ctx, k, cfg, opts, s, 0, 0, shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func gridCols(first string, blocks []int) []string {

@@ -94,6 +94,24 @@ func Kinds() []Kind {
 	return []Kind{Conventional, RMW, LocalRMW, WordGranularity, Coalesce, WG, WGRB}
 }
 
+// SetLocal reports whether this kind's controller factors across cache sets:
+// every observable effect of an access (cache mutation, counters, array
+// events, memory traffic) depends only on the subsequence of accesses to
+// that access's set. Set-local controllers can be sharded by set index
+// (RunSharded) with byte-identical merged results. The direct (Conventional,
+// WordGranularity) and RMW (RMW, LocalRMW) controllers qualify; the WG
+// family's Set-Buffer and the coalescer's pending-write window carry global
+// cross-set state — which set is buffered next depends on the interleaving
+// of *all* sets' accesses — so they must run serially.
+func (k Kind) SetLocal() bool {
+	switch k {
+	case Conventional, WordGranularity, RMW, LocalRMW:
+		return true
+	default:
+		return false
+	}
+}
+
 // Options tune behaviours shared by every controller.
 type Options struct {
 	// BufferDepth is the number of Set-Buffer entries for WG/WGRB. The
@@ -201,6 +219,10 @@ type Controller interface {
 	// Access processes one request and returns the value read (reads) or
 	// the value now stored (writes); used by correctness verification.
 	Access(a trace.Access) uint64
+	// SetLocal reports whether the controller's effects factor across cache
+	// sets (see Kind.SetLocal) — the capability the sharded driver checks
+	// before partitioning a run by set index.
+	SetLocal() bool
 	// Finalize drains internal buffers (Set-Buffer write-back) and returns
 	// the run's Result. The controller must not be used afterwards.
 	Finalize() Result
@@ -272,6 +294,10 @@ type base struct {
 }
 
 func (b *base) Kind() Kind { return b.kind }
+
+// SetLocal implements the Controller capability from the kind's static
+// classification; every controller in this package shares it via base.
+func (b *base) SetLocal() bool { return b.kind.SetLocal() }
 
 // note records stream-level statistics for one request.
 func (b *base) note(a trace.Access) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"cache8t/internal/cache"
 	"cache8t/internal/mem"
@@ -80,12 +81,84 @@ func RunStreamContext(ctx context.Context, kind Kind, cfg cache.Config, opts Opt
 	return d.Finish(), nil
 }
 
-// RunEachStream runs each kind over its own fresh stream from open, serially
-// and in kind order. Callers guarantee open yields identical streams (a
-// deterministic generator re-seeded per call, or a replayed slice), which
-// makes the results byte-identical to RunAll over the materialized accesses
-// — without any of the kinds ever holding the full trace.
+// RunEachStream runs every kind over one shared decode of the stream: open
+// is called once, a trace.Broadcast fans the batches out, and each kind's
+// controller consumes them on its own goroutine. Results are byte-identical
+// to RunEachStreamSerial (and so to RunAll over the materialized accesses)
+// because every controller sees the exact same access sequence — but a
+// seven-kind comparison decodes its gzip trace once instead of seven times,
+// and no kind ever holds the full trace.
 func RunEachStream(ctx context.Context, kinds []Kind, cfg cache.Config, opts Options, open func() (trace.Stream, error), max, batchSize int) ([]Result, error) {
+	if len(kinds) <= 1 {
+		return RunEachStreamSerial(ctx, kinds, cfg, opts, open, max, batchSize)
+	}
+	// Build every controller before opening the stream, so construction
+	// errors surface without spinning up the decoder.
+	drivers := make([]*Driver, len(kinds))
+	for i, k := range kinds {
+		c, err := cache.New(cfg, mem.New())
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := New(k, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		drivers[i] = NewDriver(ctrl)
+	}
+	s, err := open()
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 {
+		s = trace.NewLimit(s, uint64(max))
+	}
+	bc := trace.NewBroadcast(s, batchSizeFor(max, batchSize), len(kinds), 0)
+	errs := make([]error, len(kinds))
+	var wg sync.WaitGroup
+	for i := range kinds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := bc.Sub(i)
+			for {
+				if err := ctx.Err(); err != nil {
+					sub.Stop()
+					errs[i] = err
+					return
+				}
+				batch, ok := sub.Next()
+				if !ok {
+					return
+				}
+				drivers[i].Feed(batch)
+			}
+		}(i)
+	}
+	wg.Wait()
+	bc.Stop()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := bc.Err(); err != nil {
+		return nil, &StreamError{Accesses: drivers[0].Accesses(), Err: err}
+	}
+	out := make([]Result, len(kinds))
+	for i, d := range drivers {
+		out[i] = d.Finish()
+	}
+	return out, nil
+}
+
+// RunEachStreamSerial is the one-kind-at-a-time fallback behind
+// RunEachStream: each kind gets its own fresh stream from open and runs to
+// completion before the next starts. Callers guarantee open yields identical
+// streams (a deterministic generator re-seeded per call, or a replayed
+// slice). It trades the broadcast's single decode for minimal concurrency —
+// and is the reference the broadcast path is tested byte-identical against.
+func RunEachStreamSerial(ctx context.Context, kinds []Kind, cfg cache.Config, opts Options, open func() (trace.Stream, error), max, batchSize int) ([]Result, error) {
 	out := make([]Result, len(kinds))
 	for i, k := range kinds {
 		s, err := open()

@@ -43,6 +43,12 @@ type Config struct {
 	// Context, when non-nil, cancels in-flight simulations; cmd/figures
 	// wires its -timeout flag here.
 	Context context.Context
+	// Shards, when > 1, runs each set-local controller as Shards concurrent
+	// set-partitions (core.RunSharded). Controllers with cross-set state and
+	// Random-policy caches fall back to the serial driver automatically, so
+	// tables are bit-identical for every value — like Workers, purely a
+	// speed knob.
+	Shards int
 }
 
 // ctx returns the run's context, defaulting to Background.
@@ -188,12 +194,25 @@ func runSource(cfg Config, kind core.Kind, shape cache.Config, opts core.Options
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.RunStreamContext(cfg.ctx(), kind, shape, opts, s, 0, 0)
+	return core.RunShardedContext(cfg.ctx(), kind, shape, opts, s, 0, 0, cfg.Shards)
 }
 
-// runKinds drives several controller kinds over src, each from its own fresh
-// open, serially in kind order.
+// runKinds drives several controller kinds over src. With sharding off the
+// kinds share a single decode of the stream (core.RunEachStream broadcast);
+// with Shards > 1 each kind instead runs set-sharded over its own fresh
+// open. Either way results are identical to serial per-kind runs.
 func runKinds(cfg Config, kinds []core.Kind, shape cache.Config, opts core.Options, src *workload.Source) ([]core.Result, error) {
+	if cfg.Shards > 1 {
+		out := make([]core.Result, len(kinds))
+		for i, k := range kinds {
+			res, err := runSource(cfg, k, shape, opts, src)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
 	return core.RunEachStream(cfg.ctx(), kinds, shape, opts, src.Stream, 0, 0)
 }
 

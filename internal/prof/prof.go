@@ -1,0 +1,54 @@
+// Package prof wires the standard runtime/pprof file profiles into
+// commands: one call to start a CPU profile, one to drop a heap snapshot,
+// both keyed off flag values so an empty path means "off". Every simulation
+// command exposes them the same way (-cpuprofile / -memprofile), so a hot
+// path can be profiled in situ — under the exact flag combination being
+// investigated — instead of reconstructing it in a micro-benchmark.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops it and closes the file. An empty path is a no-op (the returned
+// stop still must be safe to call), so callers can defer unconditionally.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap drops an allocation profile at path, running the GC first so
+// the numbers reflect live memory, not collection timing. An empty path is
+// a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}

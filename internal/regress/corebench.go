@@ -36,6 +36,16 @@ type CoreBenchEntry struct {
 	// Ratio is streamed/materialized throughput (>= 1 means streaming is at
 	// least as fast).
 	Ratio float64 `json:"ratio"`
+
+	// Sharded fields are present when the bench ran with Shards > 1: the
+	// same streamed decode driven through core.RunSharded set-partitions.
+	// ShardedRatio is sharded/streamed throughput; > 1 means the parallel
+	// path wins (expect ~1/shards overhead on a single-core host, where the
+	// routing scan and goroutine switches buy nothing).
+	Shards        int     `json:"shards,omitempty"`
+	ShardedWallMS float64 `json:"sharded_wall_ms,omitempty"`
+	ShardedAccPS  float64 `json:"sharded_accesses_per_sec,omitempty"`
+	ShardedRatio  float64 `json:"sharded_ratio,omitempty"`
 }
 
 // sameCoreResult reports whether two runs produced identical observable
@@ -53,9 +63,16 @@ func sameCoreResult(a, b core.Result) bool {
 // CoreBench measures the controller hot path in both execution modes over the
 // same trace and verifies the results are identical before reporting. Each
 // mode runs three times; the best wall time is kept (the usual guard against
-// scheduler noise in single-shot benchmarks).
+// scheduler noise in single-shot benchmarks). With opts.Shards > 1 a third
+// mode runs the set-sharded driver over the same streamed decode; that mode
+// benches the RMW controller (WG keeps cross-set state, which would silently
+// fall back to serial and bench nothing), and all modes switch with it so
+// the entry's three numbers stay comparable.
 func CoreBench(opts Options) (CoreBenchEntry, error) {
-	const kind = core.WG
+	kind := core.WG
+	if opts.Shards > 1 {
+		kind = core.RMW
+	}
 	shape := cache.DefaultConfig()
 	prof := workload.Profiles()[0]
 	accs, err := workload.Take(prof, opts.Seed, opts.N)
@@ -115,6 +132,26 @@ func CoreBench(opts Options) (CoreBenchEntry, error) {
 	}
 	if !sameCoreResult(matRes, strRes) {
 		return e, fmt.Errorf("regress: streamed and materialized runs diverged on %s/%s", prof.Name, kind)
+	}
+	if opts.Shards > 1 {
+		e.Shards = opts.Shards
+		var shardRes core.Result
+		shardRes, e.ShardedWallMS, err = best(func() (core.Result, error) {
+			return core.RunShardedContext(opts.ctx(), kind, shape, core.Options{},
+				trace.NewReader(bytes.NewReader(data)), 0, 0, opts.Shards)
+		})
+		if err != nil {
+			return e, err
+		}
+		if !sameCoreResult(strRes, shardRes) {
+			return e, fmt.Errorf("regress: sharded and streamed runs diverged on %s/%s", prof.Name, kind)
+		}
+		if e.ShardedWallMS > 0 {
+			e.ShardedAccPS = float64(opts.N) / (e.ShardedWallMS / 1e3)
+		}
+		if e.StreamedWallMS > 0 {
+			e.ShardedRatio = e.StreamedWallMS / e.ShardedWallMS
+		}
 	}
 	if e.MaterializedWallMS > 0 {
 		e.MaterializedAccPS = float64(opts.N) / (e.MaterializedWallMS / 1e3)

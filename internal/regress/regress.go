@@ -48,6 +48,12 @@ type Options struct {
 	// materialized runs produce byte-identical artifacts, and CI runs both to
 	// prove it.
 	Stream bool
+	// Shards > 1 runs set-local controllers set-sharded
+	// (core.RunSharded); controllers with cross-set state fall back to the
+	// serial driver. Goldens are shard-agnostic — sharded runs must
+	// reproduce the serial artifacts byte-identically, and CI runs both to
+	// prove it.
+	Shards int
 	// Context cancels in-flight simulations.
 	Context context.Context
 	// Out receives progress lines and diff tables (default os.Stdout).
@@ -83,6 +89,7 @@ func (o Options) expConfig() experiments.Config {
 	cfg.Workers = o.Workers
 	cfg.Context = o.ctx()
 	cfg.Stream = o.Stream
+	cfg.Shards = o.Shards
 	return cfg
 }
 

@@ -13,8 +13,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
+	"sync"
 
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
@@ -206,13 +209,54 @@ func ReadFile(path string) (*Artifact, error) {
 	return a, nil
 }
 
-// GitSHA returns the vcs revision the binary was built from, with a "-dirty"
-// suffix for modified trees, or "unknown" when no build info is stamped
-// (tests, go run from a non-vcs dir).
+// GitSHA returns the revision of the working tree, with a "-dirty" suffix
+// for modified trees. It asks git directly first — `go run` and `go test`
+// binaries carry no stamped vcs build info, which used to leave every
+// locally appended bench ledger entry attributed to "unknown" — and falls
+// back to debug.ReadBuildInfo for stamped binaries running outside a
+// checkout. "unknown" only when both fail. The lookup execs at most once
+// per process.
 func GitSHA() string {
+	gitSHAOnce.Do(func() {
+		if sha := gitRevParseSHA(); sha != "" {
+			gitSHA = sha
+		} else if sha := buildInfoSHA(); sha != "" {
+			gitSHA = sha
+		} else {
+			gitSHA = "unknown"
+		}
+	})
+	return gitSHA
+}
+
+var (
+	gitSHAOnce sync.Once
+	gitSHA     string
+)
+
+// gitRevParseSHA reads HEAD from the ambient git checkout ("" on any
+// failure: no git binary, not a repository).
+func gitRevParseSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if sha == "" {
+		return ""
+	}
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// buildInfoSHA reads the vcs revision stamped into the binary ("" when the
+// build carries none — tests, go run from a non-vcs dir).
+func buildInfoSHA() string {
 	info, ok := debug.ReadBuildInfo()
 	if !ok {
-		return "unknown"
+		return ""
 	}
 	sha, dirty := "", false
 	for _, s := range info.Settings {
@@ -224,7 +268,7 @@ func GitSHA() string {
 		}
 	}
 	if sha == "" {
-		return "unknown"
+		return ""
 	}
 	if dirty {
 		return sha + "-dirty"

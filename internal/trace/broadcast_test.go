@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func broadcastAccesses(n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		k := Read
+		if i%3 == 0 {
+			k = Write
+		}
+		out[i] = Access{Addr: uint64(i) * 8, Data: uint64(i), Gap: uint32(i % 7), Size: 8, Kind: k}
+	}
+	return out
+}
+
+// collect drains sub on the calling goroutine, copying every batch (views
+// are recycled slabs and must not be retained).
+func collect(sub *Subscription) []Access {
+	var got []Access
+	for {
+		batch, ok := sub.Next()
+		if !ok {
+			return got
+		}
+		got = append(got, batch...)
+	}
+}
+
+// fanOut drains every subscriber concurrently and returns what each saw.
+func fanOut(b *Broadcast, nsubs int) [][]Access {
+	got := make([][]Access, nsubs)
+	var wg sync.WaitGroup
+	for i := 0; i < nsubs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = collect(b.Sub(i))
+		}(i)
+	}
+	wg.Wait()
+	return got
+}
+
+func wantSame(t *testing.T, got, want []Access, sub int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sub %d: got %d accesses, want %d", sub, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sub %d: access %d = %v, want %v", sub, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBroadcastFanOutSlice(t *testing.T) {
+	want := broadcastAccesses(10_000)
+	b := NewBroadcast(FromSlice(want), 256, 4, 0)
+	for i, got := range fanOut(b, 4) {
+		wantSame(t, got, want, i)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestBroadcastFanOutBatchSource(t *testing.T) {
+	want := broadcastAccesses(5_000)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(want), 0); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroadcast(NewReader(bytes.NewReader(buf.Bytes())), 128, 3, 2)
+	for i, got := range fanOut(b, 3) {
+		wantSame(t, got, want, i)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestBroadcastFanOutGenericStream(t *testing.T) {
+	want := broadcastAccesses(3_000)
+	// Limit wraps the slice in a plain Stream, forcing the per-access
+	// Next fill path (no zero-copy, no ReadBatch).
+	b := NewBroadcast(NewLimit(FromSlice(want), uint64(len(want))), 100, 2, 0)
+	for i, got := range fanOut(b, 2) {
+		wantSame(t, got, want, i)
+	}
+}
+
+func TestBroadcastSingleSub(t *testing.T) {
+	want := broadcastAccesses(1_000)
+	b := NewBroadcast(FromSlice(want), 0, 1, 0)
+	wantSame(t, collect(b.Sub(0)), want, 0)
+}
+
+func TestBroadcastSliceZeroCopy(t *testing.T) {
+	want := broadcastAccesses(100)
+	b := NewBroadcast(FromSlice(want), 64, 1, 0)
+	batch, ok := b.Sub(0).Next()
+	if !ok || len(batch) == 0 {
+		t.Fatal("no first batch")
+	}
+	if &batch[0] != &want[0] {
+		t.Error("slice-source batch is a copy; want a zero-copy view of the backing array")
+	}
+	b.Sub(0).Stop()
+}
+
+func TestBroadcastDecodeError(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(broadcastAccesses(2_000)), 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	b := NewBroadcast(NewReader(bytes.NewReader(full[:len(full)-1])), 64, 3, 0)
+	got := fanOut(b, 3)
+	if err := b.Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Err() = %v, want ErrUnexpectedEOF", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Sub(i).Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("sub %d Err() = %v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+	// All subscribers saw the same (truncated) prefix.
+	for i := 1; i < 3; i++ {
+		wantSame(t, got[i], got[0], i)
+	}
+}
+
+func TestBroadcastEarlyStopOneSub(t *testing.T) {
+	want := broadcastAccesses(20_000)
+	b := NewBroadcast(FromSlice(want), 128, 3, 0)
+	got := make([][]Access, 3)
+	var wg sync.WaitGroup
+	// Sub 0 abandons after one batch; the others must still see everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sub := b.Sub(0)
+		if batch, ok := sub.Next(); !ok || len(batch) == 0 {
+			t.Error("sub 0: no first batch")
+		}
+		sub.Stop()
+		sub.Stop() // idempotent
+	}()
+	for i := 1; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = collect(b.Sub(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 3; i++ {
+		wantSame(t, got[i], want, i)
+	}
+}
+
+func TestBroadcastAllStopEarly(t *testing.T) {
+	// Every subscriber stops after the first batch; the decoder must exit
+	// without draining the rest of the stream, and Stop must be safe to call
+	// again on the whole Broadcast afterwards.
+	src := FromSlice(broadcastAccesses(1 << 20))
+	b := NewBroadcast(src, 64, 2, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := b.Sub(i)
+			sub.Next()
+			sub.Stop()
+		}(i)
+	}
+	wg.Wait()
+	b.Stop()
+	if src.pos == len(src.accesses) {
+		t.Error("decoder drained the whole stream despite every subscriber stopping")
+	}
+}
+
+func TestBroadcastSteadyStateNoAlloc(t *testing.T) {
+	// Slabs circulate decoder → subscriber → free list: once the first batch
+	// has primed the pool, consuming the rest of the stream allocates
+	// nothing on any goroutine (AllocsPerRun reads global memstats, so the
+	// decoder's allocations would show up here too).
+	want := broadcastAccesses(512 * 200)
+	b := NewBroadcast(FromSlice(want), 512, 1, 0)
+	sub := b.Sub(0)
+	if _, ok := sub.Next(); !ok {
+		t.Fatal("no first batch")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := sub.Next(); !ok {
+			t.Fatal("stream ran dry mid-measurement")
+		}
+	}); n > 0 {
+		t.Errorf("steady-state Next allocates %.1f times per batch, want 0", n)
+	}
+	b.Stop()
+}
+
+func TestBroadcastEmptySource(t *testing.T) {
+	b := NewBroadcast(FromSlice(nil), 64, 2, 0)
+	for i, got := range fanOut(b, 2) {
+		if len(got) != 0 {
+			t.Fatalf("sub %d saw %d accesses from empty source", i, len(got))
+		}
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
