@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke ci
+.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update ci
 
 build:
 	$(GO) build ./...
@@ -61,5 +61,22 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzBatcher -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
+	$(GO) test -fuzz=FuzzJobSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
 
-ci: build vet fmt-check race regress regress-shard fuzz-smoke
+# End-to-end service gate: build sramd, start it on an ephemeral port,
+# submit the pinned golden workload over HTTP, verify the returned artifact
+# byte-for-byte against an in-process serial run AND against
+# golden/serve.json, then SIGTERM the daemon and require a clean exit.
+serve-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -smoke -sramd "$$tmp/sramd"
+
+# Regenerate golden/serve.json after an intentional change to the service
+# artifact (same review-and-commit policy as golden-update).
+serve-golden-update:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -smoke -update -sramd "$$tmp/sramd"
+
+ci: build vet fmt-check race regress regress-shard serve-smoke fuzz-smoke

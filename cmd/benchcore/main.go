@@ -28,6 +28,7 @@ import (
 
 	"cache8t/internal/prof"
 	"cache8t/internal/regress"
+	"cache8t/internal/report"
 )
 
 func main() {
@@ -41,7 +42,12 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "throughput trajectory file to append to")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("benchcore"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

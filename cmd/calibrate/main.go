@@ -44,7 +44,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-benchmark timeout (0 = none)")
 	reportPath := flag.String("report", "", "write the calibration artifact (canonical JSON) to this path")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("calibrate"))
+		return
+	}
 	start := time.Now()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

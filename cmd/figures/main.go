@@ -57,7 +57,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	reportPath := flag.String("report", "", "write the run artifact (canonical JSON) to this path")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("figures"))
+		return
+	}
 	start := time.Now()
 
 	// Ctrl-C and -timeout both cancel through the experiments' engine jobs.

@@ -31,6 +31,7 @@ import (
 	"os/signal"
 
 	"cache8t/internal/regress"
+	"cache8t/internal/report"
 )
 
 func main() {
@@ -48,7 +49,12 @@ func main() {
 	shards := flag.Int("shards", 0, "set-shard parallel simulation for set-local controllers (same numbers; cross-set controllers run serially)")
 	bench := flag.Bool("bench", false, "measure serial-vs-parallel engine throughput and append it to -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_regress.json", "throughput trajectory file for -bench")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("regress"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

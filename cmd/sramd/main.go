@@ -1,0 +1,103 @@
+// Command sramd is the simulation-as-a-service daemon: it serves the
+// internal/server HTTP API — submit experiment specs and trace uploads,
+// poll or stream job progress, fetch canonical run artifacts — on top of a
+// bounded job queue executed through internal/engine.
+//
+// Usage:
+//
+//	sramd                                  # listen on 127.0.0.1:8344
+//	sramd -listen :8344 -workers 8         # public, fixed worker pool
+//	sramd -listen 127.0.0.1:0              # ephemeral port (printed on stdout)
+//	sramd -queue 128 -max-body 512000000   # backpressure limits
+//	sramd -job-timeout 5m -drain 30s       # per-job cap, shutdown deadline
+//	sramd -version
+//
+// The daemon prints exactly one line to stdout once it is serving —
+// "sramd listening on http://ADDR" — which is what cmd/sramload's -sramd
+// mode parses. SIGINT/SIGTERM begin a graceful shutdown: /readyz flips to
+// 503, new submissions are refused, and in-flight jobs drain under the
+// -drain deadline (past it they are cancelled). See DESIGN.md §10 and the
+// README "Running as a service" section for the API and curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cache8t/internal/report"
+	"cache8t/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sramd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8344", "address to serve on (port 0 picks one)")
+		workers     = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queueDepth  = flag.Int("queue", 0, "queued-job limit before 429s (0 = 64)")
+		maxBody     = flag.Int64("max-body", 0, "max submission body bytes, spec + trace (0 = 256 MiB)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job run deadline (0 = none)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		spool       = flag.String("spool", "", "directory for spooled trace uploads (default: system temp)")
+		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(report.Version("sramd"))
+		return nil
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		MaxBodyBytes: *maxBody,
+		JobTimeout:   *jobTimeout,
+		SpoolDir:     *spool,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	// The one stdout line tooling scrapes for the resolved address.
+	fmt.Printf("sramd listening on http://%s\n", ln.Addr())
+	log.Printf("version %s, %s", srv.Version, report.Version("sramd"))
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining jobs (deadline %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("drain deadline exceeded; in-flight jobs cancelled")
+	} else {
+		log.Printf("drained cleanly")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	return hs.Shutdown(hctx)
+}

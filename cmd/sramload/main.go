@@ -1,0 +1,530 @@
+// Command sramload drives a running sramd daemon: a load generator that
+// fans N concurrent clients out over the job API and reports latency
+// percentiles and aggregate simulation throughput, plus a -smoke mode used
+// by `make serve-smoke` and CI to gate the service end to end.
+//
+// Usage:
+//
+//	sramload -addr http://127.0.0.1:8344 -clients 8 -jobs 32
+//	sramload -sramd ./sramd-binary -clients 4 -jobs 16   # spawn a daemon
+//	sramload -smoke -sramd ./sramd-binary                # CI service gate
+//	sramload -smoke -sramd ./sramd-binary -update        # regenerate golden
+//	sramload -version
+//
+// Load mode submits -jobs identical spec jobs across -clients concurrent
+// clients, waits on each via the SSE event stream, fetches every artifact,
+// and reports p50/p95/p99 submit→result latency and aggregate accesses/sec.
+// Before appending an entry to -out (BENCH_core.json), it verifies that one
+// fetched artifact is byte-for-byte identical to an in-process serial run
+// of the same spec — the service must never change the numbers.
+//
+// Smoke mode starts the daemon (when -sramd is given), submits one pinned
+// golden workload, verifies the returned artifact byte-for-byte against a
+// local serial run AND against golden/serve.json via report.Compare, checks
+// /healthz and /metrics, then stops the daemon with SIGTERM and requires a
+// clean exit.
+//
+// Exit status: 0 success, 1 any failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cache8t/internal/regress"
+	"cache8t/internal/report"
+	"cache8t/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sramload: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running sramd (e.g. http://127.0.0.1:8344)")
+		sramdBin    = flag.String("sramd", "", "path to an sramd binary to spawn on an ephemeral port for the run")
+		clients     = flag.Int("clients", 4, "concurrent clients")
+		jobs        = flag.Int("jobs", 16, "total jobs to submit")
+		controller  = flag.String("controller", "wgrb", "controller kind for every job")
+		workloadFlg = flag.String("workload", "bwaves", "bundled workload for every job")
+		n           = flag.Int("n", 200_000, "accesses per job")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		shards      = flag.Int("shards", 0, "set-shard each job (set-local controllers only)")
+		out         = flag.String("out", "BENCH_core.json", "throughput ledger to append the load entry to")
+		smoke       = flag.Bool("smoke", false, "run the CI smoke: one golden job, byte-identity + golden compare, clean shutdown")
+		goldenPath  = flag.String("golden", "golden/serve.json", "golden artifact for -smoke")
+		update      = flag.Bool("update", false, "with -smoke, regenerate the golden instead of comparing")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(report.Version("sramload"))
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := strings.TrimRight(*addr, "/")
+	var daemon *spawnedDaemon
+	if *sramdBin != "" {
+		var err error
+		daemon, err = spawnDaemon(*sramdBin)
+		if err != nil {
+			return err
+		}
+		defer daemon.kill()
+		base = daemon.base
+	}
+	if base == "" {
+		return fmt.Errorf("need -addr or -sramd")
+	}
+	c := &client{base: base, hc: &http.Client{}}
+
+	if *smoke {
+		if err := runSmoke(ctx, c, *goldenPath, *update); err != nil {
+			return err
+		}
+		if daemon != nil {
+			if err := daemon.stopGracefully(); err != nil {
+				return fmt.Errorf("graceful shutdown: %w", err)
+			}
+			log.Printf("daemon shut down cleanly")
+		}
+		return nil
+	}
+
+	spec := server.JobSpec{
+		Controller: *controller,
+		Workload:   *workloadFlg,
+		N:          *n,
+		Seed:       *seed,
+		Shards:     *shards,
+	}
+	spec.Normalize()
+	if err := spec.Validate(false); err != nil {
+		return err
+	}
+	entry, err := runLoad(ctx, c, spec, *clients, *jobs)
+	if err != nil {
+		return err
+	}
+	if err := regress.AppendLedger(*out, entry); err != nil {
+		return err
+	}
+	fmt.Printf("appended load entry to %s\n", *out)
+	if daemon != nil {
+		return daemon.stopGracefully()
+	}
+	return nil
+}
+
+// runLoad is the load-generator path: clients*jobs submissions, latency
+// percentiles, aggregate throughput, and the identity check gating the
+// ledger append.
+func runLoad(ctx context.Context, c *client, spec server.JobSpec, clients, jobs int) (loadEntry, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if jobs < clients {
+		jobs = clients
+	}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstArt  []byte
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				t0 := time.Now()
+				art, err := c.runJob(ctx, spec)
+				lat := time.Since(t0).Seconds() * 1e3
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if art != nil && firstArt == nil {
+					firstArt = art
+				}
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return loadEntry{}, firstErr
+	}
+
+	// The service must never change the numbers: one fetched artifact is
+	// re-derived by an in-process *serial* run of the same spec and must be
+	// byte-for-byte identical before any throughput claim is recorded.
+	serial := spec
+	serial.Shards = 0
+	local, err := server.Execute(ctx, serial, serial.Workload, nil)
+	if err != nil {
+		return loadEntry{}, err
+	}
+	if !bytes.Equal(firstArt, local) {
+		return loadEntry{}, fmt.Errorf("artifact from daemon differs from local serial run (%d vs %d bytes)", len(firstArt), len(local))
+	}
+	log.Printf("identity verified: daemon artifact == local serial artifact (%d bytes)", len(local))
+
+	sort.Float64s(latencies)
+	e := loadEntry{
+		Schema:     report.SchemaVersion,
+		GitSHA:     report.GitSHA(),
+		UnixMS:     time.Now().UnixMilli(),
+		Mode:       "serve_load",
+		Clients:    clients,
+		Jobs:       jobs,
+		Workload:   spec.Workload,
+		Controller: spec.Controller,
+		N:          spec.N,
+		Shards:     spec.Shards,
+		P50MS:      percentile(latencies, 0.50),
+		P95MS:      percentile(latencies, 0.95),
+		P99MS:      percentile(latencies, 0.99),
+		WallMS:     wall.Seconds() * 1e3,
+		Verified:   true,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		e.JobsPerSec = float64(jobs) / secs
+		e.AccessesPerSec = float64(jobs) * float64(spec.N) / secs
+	}
+	fmt.Printf("%d jobs x %d accesses over %d clients in %v\n", jobs, spec.N, clients, wall.Round(time.Millisecond))
+	fmt.Printf("latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; %.0f accesses/sec aggregate\n",
+		e.P50MS, e.P95MS, e.P99MS, e.AccessesPerSec)
+	return e, nil
+}
+
+// smokeSpec is the pinned golden workload the CI smoke submits.
+func smokeSpec() server.JobSpec {
+	s := server.JobSpec{Controller: "wgrb", Workload: "bwaves", N: 50_000, Seed: 1}
+	s.Normalize()
+	return s
+}
+
+// runSmoke gates the service end to end: submit, fetch, byte-identity vs a
+// local serial run, exact compare against the checked-in golden, and a
+// health/metrics sanity pass.
+func runSmoke(ctx context.Context, c *client, goldenPath string, update bool) error {
+	if err := c.checkHealth(ctx); err != nil {
+		return err
+	}
+	spec := smokeSpec()
+	got, err := c.runJob(ctx, spec)
+	if err != nil {
+		return err
+	}
+	local, err := server.Execute(ctx, spec, spec.Workload, nil)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, local) {
+		return fmt.Errorf("artifact from daemon differs from local serial run (%d vs %d bytes)", len(got), len(local))
+	}
+	log.Printf("identity verified: daemon artifact == local serial artifact (%d bytes)", len(got))
+
+	if update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("golden updated (%s)\n", goldenPath)
+		return nil
+	}
+	golden, err := report.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("%w (run with -update to create it)", err)
+	}
+	gotArt, err := report.Decode(got)
+	if err != nil {
+		return err
+	}
+	// The smoke workload is fully deterministic, so everything compares
+	// exactly — the zero band.
+	diff := report.Compare(golden, gotArt, report.Bands{})
+	if !diff.OK() {
+		t := diff.Table(fmt.Sprintf("serve-smoke [DRIFT] vs %s", goldenPath), false)
+		t.Render(os.Stderr)
+		return fmt.Errorf("artifact drifted from %s", goldenPath)
+	}
+	fmt.Printf("serve-smoke ok — artifact matches %s (%d metrics)\n", goldenPath, len(gotArt.Metrics))
+
+	body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "sramd_jobs_total") {
+		return fmt.Errorf("/metrics is missing sramd_jobs_total")
+	}
+	return nil
+}
+
+// loadEntry is one appended record of service throughput in the
+// BENCH_core.json ledger (heterogeneous entries; see regress.AppendLedger).
+type loadEntry struct {
+	Schema         int     `json:"schema"`
+	GitSHA         string  `json:"git_sha"`
+	UnixMS         int64   `json:"unix_ms"`
+	Mode           string  `json:"mode"`
+	Clients        int     `json:"clients"`
+	Jobs           int     `json:"jobs"`
+	Workload       string  `json:"workload"`
+	Controller     string  `json:"controller"`
+	N              int     `json:"n"`
+	Shards         int     `json:"shards,omitempty"`
+	P50MS          float64 `json:"p50_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	WallMS         float64 `json:"wall_ms"`
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	Verified       bool    `json:"verified_identical"`
+}
+
+// percentile returns the q-quantile of sorted xs (nearest-rank).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// client is a minimal sramd API client.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// checkHealth verifies /healthz answers and logs the daemon's version.
+func (c *client) checkHealth(ctx context.Context) error {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		body, err := c.get(ctx, "/healthz")
+		if err == nil {
+			log.Printf("daemon healthy: %s", strings.TrimSpace(string(body)))
+			return nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("daemon never became healthy: %w", lastErr)
+}
+
+// runJob submits spec, waits for the terminal state via the SSE event
+// stream, and fetches the artifact. A full queue (429) backs off and
+// retries — that is the load generator meeting backpressure, not an error.
+func (c *client) runJob(ctx context.Context, spec server.JobSpec) ([]byte, error) {
+	specBytes, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	var id string
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(specBytes))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, err
+		}
+		id = st.ID
+		break
+	}
+
+	st, err := c.waitTerminal(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != server.StateSucceeded {
+		return nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+	}
+	return c.get(ctx, "/v1/jobs/"+id+"/result")
+}
+
+// waitTerminal follows the job's SSE stream until a terminal status event.
+func (c *client) waitTerminal(ctx context.Context, id string) (server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, fmt.Errorf("events %s: %s", id, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var last server.JobStatus
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+			return server.JobStatus{}, err
+		}
+		if last.State.Terminal() {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return server.JobStatus{}, err
+	}
+	return last, fmt.Errorf("event stream for %s ended before a terminal state", id)
+}
+
+// spawnedDaemon is an sramd child process started for this run.
+type spawnedDaemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// spawnDaemon starts bin on an ephemeral port and scrapes the resolved
+// address from its single stdout line.
+func spawnDaemon(bin string) (*spawnedDaemon, error) {
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(stdout)
+	const prefix = "sramd listening on "
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, prefix) {
+			base := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+			// Keep draining stdout so the child never blocks on the pipe.
+			go io.Copy(io.Discard, stdout)
+			log.Printf("spawned %s at %s (pid %d)", bin, base, cmd.Process.Pid)
+			return &spawnedDaemon{cmd: cmd, base: base}, nil
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return nil, fmt.Errorf("%s exited before printing its listen address", bin)
+}
+
+// stopGracefully sends SIGTERM and requires a clean (exit 0) shutdown.
+func (d *spawnedDaemon) stopGracefully() error {
+	if d.cmd.Process == nil {
+		return nil
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		d.cmd = &exec.Cmd{} // disarm kill()
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+}
+
+// kill is the deferred safety net for error paths; stopGracefully disarms it.
+func (d *spawnedDaemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}

@@ -76,9 +76,14 @@ func run() error {
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		list         = flag.Bool("list", false, "list bundled workloads and exit")
+		showVersion  = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(report.Version("sramsim"))
+		return nil
+	}
 	if *list {
 		fmt.Println(strings.Join(workload.Names(), "\n"))
 		return nil
@@ -143,7 +148,16 @@ func run() error {
 	}
 
 	if *shards > 1 {
-		if plan := core.PlanShards(kind, cfg, *shards); plan.Reason != "" {
+		// Refuse, up front, a shard request the driver would silently run
+		// serially — asking for parallelism and getting none is a surprise
+		// worth an error, not a log line. A clamp (fewer shards than asked,
+		// but still parallel) only warns.
+		plan := core.PlanShards(kind, cfg, *shards)
+		if plan.Shards <= 1 && plan.Reason != "" {
+			reason := strings.TrimSuffix(plan.Reason, "; running serially")
+			return fmt.Errorf("-shards %d is not possible for this run: %s (drop -shards, or pick a set-local controller: conventional, word, rmw, localrmw)", *shards, reason)
+		}
+		if plan.Reason != "" {
 			log.Printf("-shards %d: %s", *shards, plan.Reason)
 		}
 	}

@@ -51,7 +51,12 @@ func main() {
 	streamMode := flag.Bool("stream", false, "stream each job's trace instead of materializing (constant memory; same tables)")
 	shards := flag.Int("shards", 0, "set-shard each job's set-local runs across this many goroutines (same tables)")
 	reportPath := flag.String("report", "", "write the sweep artifact (canonical JSON) to this path")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("sweep"))
+		return
+	}
 
 	kind, err := core.ParseKind(*controller)
 	if err != nil {

@@ -40,7 +40,12 @@ func main() {
 		dump         = flag.Int("dump", 0, "with -inspect, dump the first N records")
 		reportPath   = flag.String("report", "", "write the generation artifact (canonical JSON) to this path")
 	)
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("tracegen"))
+		return
+	}
 
 	var count uint64
 	var source string

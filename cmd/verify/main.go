@@ -43,7 +43,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel rounds (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-round timeout (0 = none)")
 	reportPath := flag.String("report", "", "write the run artifact (canonical JSON) to this path")
+	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(report.Version("verify"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

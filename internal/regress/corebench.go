@@ -2,9 +2,7 @@ package regress
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"cache8t/internal/cache"
@@ -165,28 +163,8 @@ func CoreBench(opts Options) (CoreBenchEntry, error) {
 	return e, nil
 }
 
-// AppendCoreBench appends entry to the JSON array at path (created when
-// missing), rewriting the file canonically — same ledger discipline as
-// AppendBench.
+// AppendCoreBench appends entry to the hot-path ledger at path; see
+// AppendLedger for the file discipline.
 func AppendCoreBench(path string, entry CoreBenchEntry) error {
-	var entries []CoreBenchEntry
-	b, err := os.ReadFile(path)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(b, &entries); err != nil {
-			return fmt.Errorf("regress: %s: %w", path, err)
-		}
-	case os.IsNotExist(err):
-	default:
-		return fmt.Errorf("regress: %w", err)
-	}
-	entries = append(entries, entry)
-	out, err := report.Canonical(entries)
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return fmt.Errorf("regress: %w", err)
-	}
-	return nil
+	return AppendLedger(path, entry)
 }

@@ -8,7 +8,6 @@ package regress
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -450,28 +449,8 @@ func Bench(opts Options) (BenchEntry, error) {
 	return e, nil
 }
 
-// AppendBench appends entry to the JSON array at path (created when
-// missing), rewriting the file canonically so the trajectory stays
-// machine-readable and diff-friendly.
+// AppendBench appends entry to the throughput ledger at path; see
+// AppendLedger for the file discipline.
 func AppendBench(path string, entry BenchEntry) error {
-	var entries []BenchEntry
-	b, err := os.ReadFile(path)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(b, &entries); err != nil {
-			return fmt.Errorf("regress: %s: %w", path, err)
-		}
-	case os.IsNotExist(err):
-	default:
-		return fmt.Errorf("regress: %w", err)
-	}
-	entries = append(entries, entry)
-	out, err := report.Canonical(entries)
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return fmt.Errorf("regress: %w", err)
-	}
-	return nil
+	return AppendLedger(path, entry)
 }

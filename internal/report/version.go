@@ -1,0 +1,11 @@
+package report
+
+import "fmt"
+
+// Version is the one-line build identity every CLI prints for -version:
+// tool name, git SHA (with -dirty suffix for modified trees), and the
+// artifact schema version this build reads and writes — enough to trace any
+// artifact or deployed daemon back to a commit.
+func Version(tool string) string {
+	return fmt.Sprintf("%s %s schema %d", tool, GitSHA(), SchemaVersion)
+}

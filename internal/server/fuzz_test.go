@@ -1,0 +1,59 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJobSpec fuzzes the wire decoder and validator with arbitrary bytes.
+// Two properties are pinned:
+//
+//  1. DecodeSpec and Validate never panic, whatever the input — the daemon
+//     parses these bytes off the public socket.
+//  2. Every accepted spec round-trips through its canonical encoding:
+//     decode(Canonical(spec)) re-encodes to the same bytes. This is what
+//     makes the submit-time config hash stable and the spec safe to echo
+//     back through the API.
+func FuzzJobSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"controller":"wgrb","workload":"bwaves","n":50000}`,
+		`{"controller":"rmw","workload":"mcf","n":1,"seed":18446744073709551615,"shards":8}`,
+		`{"controller":"wg","workload":"gcc","n":10,"cache":{"size_kb":32,"ways":8,"block_bytes":64,"policy":"plru"},"options":{"buffer_depth":4,"disable_silent_elision":true,"count_fill_traffic":true},"batch":512,"vdd":0.85,"freq_mhz":1500.5}`,
+		`{"controller":"conventional"}`,
+		`{}`,
+		`null`,
+		`{"controller":"wgrb","n":-1,"vdd":-0}`,
+		`{"controller":"wgrb","workload":"bwaves","n":1e3}`,
+		`{"controller":"wgrb"} trailing`,
+		`[1,2]`,
+		`{"controller":"wgrb","unknown":true}`,
+		`{"n":1,"n":2,"controller":"rmw"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		spec, err := DecodeSpec(b)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		// Validation must never panic either, whichever source mode.
+		spec.Validate(false)
+		spec.Validate(true)
+
+		c1, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v (%+v)", err, spec)
+		}
+		spec2, err := DecodeSpec(c1)
+		if err != nil {
+			t.Fatalf("canonical encoding of an accepted spec failed to decode: %v\n%s", err, c1)
+		}
+		c2, err := spec2.Canonical()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical round trip drifted:\n%s\nvs\n%s", c1, c2)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the per-kind job latency
+// histogram — log-spaced from a millisecond to ten seconds, plus +Inf.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// serverMetrics is the daemon's cumulative counter set, rendered by
+// /metrics in Prometheus text exposition format. Counters are atomics;
+// the per-kind histograms take a mutex on job completion only.
+type serverMetrics struct {
+	submitted atomic.Int64 // jobs accepted onto the queue
+	rejected  atomic.Int64 // submissions bounced by backpressure (429/413/503)
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	inflight  atomic.Int64
+	accesses  atomic.Int64 // accesses simulated by terminal jobs
+	bytesIn   atomic.Int64 // trace bytes spooled from uploads
+	busyNanos atomic.Int64 // summed job run time, for accesses/sec
+
+	mu     sync.Mutex
+	byKind map[string]*latencyHist
+}
+
+// latencyHist is one controller kind's job-latency histogram.
+type latencyHist struct {
+	counts []int64 // one per latencyBuckets entry
+	inf    int64
+	sum    float64
+	n      int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{byKind: map[string]*latencyHist{}}
+}
+
+// observe records one terminal job: its controller kind, run seconds, and
+// accesses simulated.
+func (m *serverMetrics) observe(kind string, seconds float64, accesses uint64, state State) {
+	switch state {
+	case StateSucceeded:
+		m.succeeded.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCancelled:
+		m.cancelled.Add(1)
+	}
+	m.accesses.Add(int64(accesses))
+	m.busyNanos.Add(int64(seconds * 1e9))
+	m.mu.Lock()
+	h := m.byKind[kind]
+	if h == nil {
+		h = &latencyHist{counts: make([]int64, len(latencyBuckets))}
+		m.byKind[kind] = h
+	}
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+		}
+	}
+	h.inf++
+	h.sum += seconds
+	h.n++
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition. queueDepth and queueCap come
+// from the server's live channel state.
+func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting bool) {
+	up := 0
+	if accepting {
+		up = 1
+	}
+	fmt.Fprintf(w, "# HELP sramd_accepting Whether the daemon is accepting new jobs (0 while draining).\n")
+	fmt.Fprintf(w, "# TYPE sramd_accepting gauge\nsramd_accepting %d\n", up)
+	fmt.Fprintf(w, "# HELP sramd_queue_depth Jobs waiting on the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE sramd_queue_depth gauge\nsramd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE sramd_queue_capacity gauge\nsramd_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "# HELP sramd_jobs_inflight Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE sramd_jobs_inflight gauge\nsramd_jobs_inflight %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP sramd_jobs_total Terminal jobs by state, plus accepted and rejected submissions.\n")
+	fmt.Fprintf(w, "# TYPE sramd_jobs_total counter\n")
+	fmt.Fprintf(w, "sramd_jobs_total{state=\"submitted\"} %d\n", m.submitted.Load())
+	fmt.Fprintf(w, "sramd_jobs_total{state=\"rejected\"} %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "sramd_jobs_total{state=\"succeeded\"} %d\n", m.succeeded.Load())
+	fmt.Fprintf(w, "sramd_jobs_total{state=\"failed\"} %d\n", m.failed.Load())
+	fmt.Fprintf(w, "sramd_jobs_total{state=\"cancelled\"} %d\n", m.cancelled.Load())
+
+	fmt.Fprintf(w, "# HELP sramd_accesses_total Accesses simulated by terminal jobs.\n")
+	fmt.Fprintf(w, "# TYPE sramd_accesses_total counter\nsramd_accesses_total %d\n", m.accesses.Load())
+	fmt.Fprintf(w, "# HELP sramd_bytes_ingested_total Trace bytes spooled from uploads.\n")
+	fmt.Fprintf(w, "# TYPE sramd_bytes_ingested_total counter\nsramd_bytes_ingested_total %d\n", m.bytesIn.Load())
+	if busy := float64(m.busyNanos.Load()) / 1e9; busy > 0 {
+		fmt.Fprintf(w, "# HELP sramd_accesses_per_second Simulated accesses per busy second across terminal jobs.\n")
+		fmt.Fprintf(w, "# TYPE sramd_accesses_per_second gauge\nsramd_accesses_per_second %g\n",
+			float64(m.accesses.Load())/busy)
+	}
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.byKind))
+	for k := range m.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "# HELP sramd_job_seconds Job run latency by controller kind.\n")
+	fmt.Fprintf(w, "# TYPE sramd_job_seconds histogram\n")
+	for _, k := range kinds {
+		h := m.byKind[k]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "sramd_job_seconds_bucket{controller=%q,le=%q} %d\n", k, fmt.Sprint(le), h.counts[i])
+		}
+		fmt.Fprintf(w, "sramd_job_seconds_bucket{controller=%q,le=\"+Inf\"} %d\n", k, h.inf)
+		fmt.Fprintf(w, "sramd_job_seconds_sum{controller=%q} %g\n", k, h.sum)
+		fmt.Fprintf(w, "sramd_job_seconds_count{controller=%q} %d\n", k, h.n)
+	}
+	m.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"cache8t/internal/core"
+	"cache8t/internal/energy"
+	"cache8t/internal/report"
+	"cache8t/internal/sram"
+	"cache8t/internal/timing"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+// OpenSource returns the stream opener for a validated spec with no uploaded
+// trace: a fresh deterministic generator per open, bounded inside the run by
+// spec.N.
+func OpenSource(spec JobSpec) func() (trace.Stream, error) {
+	return func() (trace.Stream, error) {
+		return workload.Stream(spec.Workload, spec.Seed)
+	}
+}
+
+// RunSpec executes a validated spec over the stream from open and returns the
+// controller result. Shards and batch come from the spec; RunShardedContext
+// degrades to the serial streaming driver when shards <= 1, so there is one
+// execution path for every job. wrap, when non-nil, interposes on the opened
+// stream — the daemon hangs its progress counter there.
+func RunSpec(ctx context.Context, spec JobSpec, open func() (trace.Stream, error), wrap func(trace.Stream) trace.Stream) (core.Result, error) {
+	kind, err := core.ParseKind(spec.Controller)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg, err := spec.CacheConfig()
+	if err != nil {
+		return core.Result{}, err
+	}
+	if open == nil {
+		open = OpenSource(spec)
+	}
+	s, err := open()
+	if err != nil {
+		return core.Result{}, err
+	}
+	if wrap != nil {
+		s = wrap(s)
+	}
+	return core.RunShardedContext(ctx, kind, cfg, spec.CoreOptions(), s, spec.N, spec.Batch, spec.Shards)
+}
+
+// ConfigMap flattens the result-shaping knobs of a spec into the artifact's
+// config map. Execution knobs (shards, batch) are deliberately absent: they
+// cannot change results — the sharding and streaming equivalence tests pin
+// that — so a sharded daemon run and a serial local rerun hash identically.
+func ConfigMap(spec JobSpec, source string) map[string]string {
+	return map[string]string{
+		"source":                  source,
+		"controller":              spec.Controller,
+		"n":                       fmt.Sprint(spec.N),
+		"seed":                    fmt.Sprint(spec.Seed),
+		"cache_size_bytes":        fmt.Sprint(spec.Cache.SizeKB * 1024),
+		"cache_ways":              fmt.Sprint(spec.Cache.Ways),
+		"cache_block_bytes":       fmt.Sprint(spec.Cache.BlockBytes),
+		"cache_policy":            spec.Cache.Policy,
+		"buffer_depth":            fmt.Sprint(spec.Options.BufferDepth),
+		"silent_elision_disabled": fmt.Sprint(spec.Options.DisableSilentElision),
+		"count_fill_traffic":      fmt.Sprint(spec.Options.CountFillTraffic),
+		"vdd":                     fmt.Sprint(spec.VDD),
+		"freq_mhz":                fmt.Sprint(spec.FreqMHz),
+	}
+}
+
+// Artifact assembles the deterministic run artifact for a finished job: the
+// spec's config map, the controller's full event ledger, and the modeled
+// scalar metrics. Wall-clock and engine snapshots are deliberately left
+// unset — an artifact fetched from the daemon must be byte-identical to one
+// built by an in-process serial run of the same spec, and only fully
+// deterministic fields can promise that. Timings live on the job status
+// instead.
+func Artifact(spec JobSpec, source string, res core.Result) *report.Artifact {
+	art := report.New("sramd", spec.Seed)
+	art.Config = ConfigMap(spec, source)
+	art.AddController(res)
+	art.SetMetric("accesses_per_request", res.AccessesPerRequest())
+	art.SetMetric("miss_rate", res.Cache.MissRate())
+	tp := timing.DefaultParams()
+	if trep, err := timing.Evaluate(res, tp); err == nil {
+		art.SetMetric("cpi", trep.CPI())
+		art.SetMetric("avg_read_latency_cycles", trep.AvgReadLatency)
+	}
+	if erep, err := energy.Evaluate(res, sram.OperatingPoint{VoltageV: spec.VDD, FreqMHz: spec.FreqMHz}, timing.DefaultParams()); err == nil {
+		art.SetMetric("dynamic_j", erep.DynamicJ)
+		art.SetMetric("leakage_j", erep.LeakageJ)
+	}
+	return art
+}
+
+// Execute is the in-process reference runner: it runs a validated spec to
+// completion and returns the encoded canonical artifact. The daemon's job
+// path and Execute share RunSpec and Artifact, so the bytes a client fetches
+// from `GET /v1/jobs/{id}/result` are identical to the bytes Execute
+// produces for the same spec and source — the end-to-end identity the smoke
+// test and cmd/sramload verify.
+func Execute(ctx context.Context, spec JobSpec, source string, open func() (trace.Stream, error)) ([]byte, error) {
+	res, err := RunSpec(ctx, spec, open, nil)
+	if err != nil {
+		return nil, err
+	}
+	return report.Encode(Artifact(spec, source, res))
+}

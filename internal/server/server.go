@@ -1,0 +1,562 @@
+// Package server turns the simulation stack into a long-running service:
+// an HTTP API that accepts experiment specs and trace uploads, enqueues
+// them on a bounded job queue executed through internal/engine, and exposes
+// the full async lifecycle — submit, status, result, cancel, an SSE progress
+// stream, health/readiness probes, and Prometheus metrics. cmd/sramd is the
+// daemon around it; cmd/sramload drives it under load and verifies that a
+// fetched artifact is byte-identical to an in-process serial run of the
+// same spec (see Execute). DESIGN.md §10 documents the job state machine,
+// the backpressure limits, and the SSE contract.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cache8t/internal/engine"
+	"cache8t/internal/report"
+	"cache8t/internal/trace"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers bounds concurrently executing jobs (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds jobs waiting to run; a full queue rejects submissions
+	// with 429 (<= 0: 64).
+	QueueDepth int
+	// MaxBodyBytes bounds a submission body, spec plus trace upload; larger
+	// bodies are rejected with 413 (<= 0: 256 MiB).
+	MaxBodyBytes int64
+	// JobTimeout, when positive, bounds each job's run time via the engine;
+	// an expired job fails with a timeout error.
+	JobTimeout time.Duration
+	// SpoolDir receives streamed trace uploads ("" = os.TempDir()). Uploads
+	// are spooled to disk, never buffered in memory, and removed when their
+	// job reaches a terminal state.
+	SpoolDir string
+	// Version is reported by /healthz ("" = report.GitSHA()).
+	Version string
+
+	// testWrapStream, when set (package tests only), interposes on every
+	// job's stream after the progress counter — the hook tests use to gate a
+	// job mid-run without sleeping.
+	testWrapStream func(ctx context.Context, j *Job, s trace.Stream) trace.Stream
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.SpoolDir == "" {
+		c.SpoolDir = os.TempDir()
+	}
+	if c.Version == "" {
+		c.Version = report.GitSHA()
+	}
+	return c
+}
+
+// Server is the simulation-as-a-service core: job store, bounded queue,
+// worker pool, and HTTP handlers. Create with New, mount Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg Config
+	// Version is the build identifier /healthz reports.
+	Version string
+
+	eng   *engine.Engine[*report.Artifact]
+	met   *serverMetrics
+	queue chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	accepting  atomic.Bool
+	stopOnce   sync.Once
+	stop       chan struct{}
+	workers    sync.WaitGroup
+	jobWG      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		Version: cfg.Version,
+		eng:     engine.New[*report.Artifact](engine.Config{Workers: 1, JobTimeout: cfg.JobTimeout}),
+		met:     newServerMetrics(),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		jobs:    map[string]*Job{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.accepting.Store(true)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Shutdown drains the server: new submissions are refused immediately,
+// queued and in-flight jobs run to completion, and the call returns once
+// everything is terminal. If ctx expires first, every remaining job is
+// cancelled, the drain completes with those jobs in state "cancelled", and
+// ctx's error is returned. Always stops the worker pool; safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.accepting.Store(false)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-drained
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workers.Wait()
+	return err
+}
+
+// worker executes queued jobs until the server stops.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// runJob drives one job through the engine: start, execute with timeout and
+// panic containment, classify the outcome, account metrics.
+func (s *Server) runJob(j *Job) {
+	if !j.start() {
+		return // cancelled while queued; finishJob already ran
+	}
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	outs, _ := s.eng.Run(j.ctx, []engine.Job[*report.Artifact]{{
+		Label:  j.ID,
+		Weight: int64(j.Spec.N),
+		Fn: func(ctx context.Context) (*report.Artifact, error) {
+			return s.execute(ctx, j)
+		},
+	}})
+	out := outs[0]
+	switch {
+	case j.ctx.Err() != nil:
+		// DELETE or drain-kill. A cancelled stream can also surface as a
+		// clean early EOF, so the job context outranks the outcome.
+		s.finishJob(j, StateCancelled, "cancelled", nil)
+	case out.Err != nil && errors.Is(out.Err, context.DeadlineExceeded):
+		s.finishJob(j, StateFailed, fmt.Sprintf("job timeout after %v", s.cfg.JobTimeout), nil)
+	case out.Err != nil:
+		s.finishJob(j, StateFailed, out.Err.Error(), nil)
+	default:
+		b, err := report.Encode(out.Value)
+		if err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		s.finishJob(j, StateSucceeded, "", b)
+	}
+}
+
+// execute opens the job's source, hangs the progress counter on it, and runs
+// the spec. It runs on a worker goroutine inside the engine's containment.
+func (s *Server) execute(ctx context.Context, j *Job) (*report.Artifact, error) {
+	open := OpenSource(j.Spec)
+	if j.tracePath != "" {
+		f, err := os.Open(j.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		open = func() (trace.Stream, error) { return trace.NewAnyReader(f) }
+	}
+	wrap := func(st trace.Stream) trace.Stream {
+		var out trace.Stream = &countingStream{inner: st, job: j}
+		if s.cfg.testWrapStream != nil {
+			out = s.cfg.testWrapStream(ctx, j, out)
+		}
+		return out
+	}
+	res, err := RunSpec(ctx, j.Spec, open, wrap)
+	if err != nil {
+		return nil, err
+	}
+	return Artifact(j.Spec, j.Source, res), nil
+}
+
+// finishJob applies the terminal transition once: job state, queue
+// accounting, metrics, spool cleanup.
+func (s *Server) finishJob(j *Job, state State, errText string, artifact []byte) {
+	if !j.finish(state, errText, artifact) {
+		return
+	}
+	st := j.Status()
+	s.met.observe(j.Spec.Controller, st.RunMS/1e3, st.Accesses, state)
+	if j.tracePath != "" {
+		os.Remove(j.tracePath)
+	}
+	s.jobWG.Done()
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error  string       `json:"error"`
+	State  State        `json:"state,omitempty"`
+	Fields []FieldError `json:"fields,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit accepts a job: a JSON spec body for workload jobs, or a
+// multipart body with a "spec" part and a "trace" part whose bytes are
+// streamed straight to the spool file (sniffed later by trace.NewAnyReader —
+// gzip, binary C8TT, and text all work). Responses: 202 with the job status,
+// 400 on a malformed or invalid spec (field-level errors), 413 when the body
+// exceeds MaxBodyBytes, 429 when the queue is full, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting.Load() {
+		s.met.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining; not accepting jobs"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	spec, source, tracePath, traceBytes, err := s.readSubmission(r)
+	if err != nil {
+		s.met.rejected.Add(1)
+		if tracePath != "" {
+			os.Remove(tracePath)
+		}
+		var maxErr *http.MaxBytesError
+		var specErr *SpecError
+		switch {
+		case errors.As(err, &maxErr):
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("body exceeds the %d-byte limit", maxErr.Limit)})
+		case errors.As(err, &specErr):
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid spec", Fields: specErr.Fields})
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+
+	hash, err := report.Hash(ConfigMap(spec, source))
+	if err != nil {
+		s.met.rejected.Add(1)
+		if tracePath != "" {
+			os.Remove(tracePath)
+		}
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if !s.accepting.Load() {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		if tracePath != "" {
+			os.Remove(tracePath)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining; not accepting jobs"})
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	j := newJob(s.baseCtx, id, spec, source, hash)
+	j.tracePath = tracePath
+	j.bytesIngested = traceBytes
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.jobWG.Add(1)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.met.submitted.Add(1)
+		s.met.bytesIn.Add(traceBytes)
+		w.Header().Set("Location", "/v1/jobs/"+id)
+		writeJSON(w, http.StatusAccepted, j.Status())
+	default:
+		// Queue full: unwind the registration and apply backpressure.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.jobWG.Done()
+		if tracePath != "" {
+			os.Remove(tracePath)
+		}
+		s.met.rejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: fmt.Sprintf("job queue full (%d queued); retry later", cap(s.queue))})
+	}
+}
+
+// readSubmission decodes the spec (and spools a trace upload, when present)
+// from the request body, returning the validated spec and resolved source.
+func (s *Server) readSubmission(r *http.Request) (spec JobSpec, source, tracePath string, traceBytes int64, err error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	sawSpec := false
+	if ct == "multipart/form-data" {
+		mr, merr := r.MultipartReader()
+		if merr != nil {
+			return spec, "", "", 0, fmt.Errorf("bad multipart body: %w", merr)
+		}
+		var traceSum string
+		for {
+			part, perr := mr.NextPart()
+			if perr == io.EOF {
+				break
+			}
+			if perr != nil {
+				return spec, "", tracePath, traceBytes, fmt.Errorf("bad multipart body: %w", perr)
+			}
+			switch part.FormName() {
+			case "spec":
+				b, rerr := io.ReadAll(io.LimitReader(part, 1<<20))
+				if rerr != nil {
+					return spec, "", tracePath, traceBytes, rerr
+				}
+				if spec, err = DecodeSpec(b); err != nil {
+					return spec, "", tracePath, traceBytes, err
+				}
+				sawSpec = true
+			case "trace":
+				if tracePath != "" {
+					return spec, "", tracePath, traceBytes, fmt.Errorf("duplicate trace part")
+				}
+				f, cerr := os.CreateTemp(s.cfg.SpoolDir, "sramd-trace-*")
+				if cerr != nil {
+					return spec, "", "", 0, cerr
+				}
+				h := sha256.New()
+				n, cpErr := io.Copy(io.MultiWriter(f, h), part)
+				f.Close()
+				tracePath, traceBytes = f.Name(), n
+				if cpErr != nil {
+					return spec, "", tracePath, traceBytes, cpErr
+				}
+				traceSum = hex.EncodeToString(h.Sum(nil))
+			default:
+				return spec, "", tracePath, traceBytes, fmt.Errorf("unknown multipart part %q (want spec, trace)", part.FormName())
+			}
+		}
+		if !sawSpec {
+			return spec, "", tracePath, traceBytes, fmt.Errorf(`multipart body missing the "spec" part`)
+		}
+		if tracePath != "" {
+			source = "trace:sha256:" + traceSum
+		}
+	} else {
+		b, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			return spec, "", "", 0, rerr
+		}
+		if spec, err = DecodeSpec(b); err != nil {
+			return spec, "", "", 0, err
+		}
+	}
+	if err = spec.Validate(tracePath != ""); err != nil {
+		return spec, "", tracePath, traceBytes, err
+	}
+	if source == "" {
+		source = spec.Workload
+	}
+	return spec, source, tracePath, traceBytes, nil
+}
+
+// lookup resolves a job ID, writing the 404 itself when absent.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+	}
+	return j
+}
+
+// handleList returns every job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus returns one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+// handleResult returns the canonical artifact of a succeeded job, 202 with
+// the status while the job is still queued or running, and 409 for failed
+// or cancelled jobs.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateSucceeded:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.Artifact())
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("job %s is %s: %s", j.ID, st.State, st.Error), State: st.State})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleCancel cancels a job: queued jobs become terminal immediately,
+// running jobs get their context cancelled (the simulation polls it per
+// batch). Idempotent — cancelling a terminal job returns its status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.State() == StateQueued {
+		s.finishJob(j, StateCancelled, "cancelled before start", nil)
+	} else {
+		j.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job's lifecycle as server-sent events: one
+// "status" event with the JobStatus JSON immediately, another on every state
+// change and progress stride, and a final one at the terminal state, after
+// which the stream closes. The contract is documented in DESIGN.md §10.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		// Grab the notify channel before snapshotting: an update landing
+		// between the two re-closes a channel we already hold, so nothing is
+		// missed.
+		ch := j.watch()
+		st := j.Status()
+		b, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", b)
+		fl.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealthz reports liveness plus build identity: version (git SHA) and
+// the artifact schema this daemon writes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": s.Version,
+		"schema":  report.SchemaVersion,
+	})
+}
+
+// handleReadyz is the routing probe: 200 while accepting, 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.accepting.Load() {
+		w.Write([]byte("ready\n"))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte("draining\n"))
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, len(s.queue), cap(s.queue), s.accepting.Load())
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/report"
+	"cache8t/internal/workload"
+)
+
+// MaxCacheKB bounds the cache size a job may request. The paper's shapes top
+// out at 128 KB; 64 MiB leaves three orders of magnitude of headroom for
+// sensitivity studies while keeping one malicious spec from allocating a
+// multi-gigabyte set array inside the daemon.
+const MaxCacheKB = 64 * 1024
+
+// JobSpec is the wire description of one simulation job: which controller to
+// run, over which input (a bundled workload by name, or a trace uploaded
+// alongside the spec), on what cache shape, with which execution knobs.
+// Execution knobs (shards, batch) never change results — only the wall-clock
+// — so they are excluded from the artifact's config hash.
+type JobSpec struct {
+	// Controller is the scheme to simulate (core.ParseKind names).
+	Controller string `json:"controller"`
+	// Workload names a bundled benchmark profile. Empty means the job replays
+	// an uploaded trace instead; exactly one of the two sources must be set.
+	Workload string `json:"workload,omitempty"`
+	// N bounds the accesses simulated. Required (> 0) for workload jobs —
+	// synthetic streams are unbounded — and optional for trace jobs, where 0
+	// replays the whole trace.
+	N int `json:"n,omitempty"`
+	// Seed is the workload master seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Cache is the cache shape; zero fields take the paper's baseline.
+	Cache CacheSpec `json:"cache"`
+	// Options are the controller behaviour knobs.
+	Options OptionsSpec `json:"options"`
+	// Shards > 1 set-shards the run (set-local controllers only; the spec is
+	// rejected, not silently degraded, when the controller cannot shard).
+	Shards int `json:"shards,omitempty"`
+	// Batch is the streaming batch length in accesses (0 = default).
+	Batch int `json:"batch,omitempty"`
+	// VDD and FreqMHz set the operating point for the energy metrics
+	// (defaults 1.0 V / 2000 MHz).
+	VDD     float64 `json:"vdd,omitempty"`
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
+}
+
+// CacheSpec is the cache geometry portion of a JobSpec.
+type CacheSpec struct {
+	SizeKB     int    `json:"size_kb,omitempty"`
+	Ways       int    `json:"ways,omitempty"`
+	BlockBytes int    `json:"block_bytes,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+}
+
+// OptionsSpec is the controller-option portion of a JobSpec.
+type OptionsSpec struct {
+	BufferDepth          int  `json:"buffer_depth,omitempty"`
+	DisableSilentElision bool `json:"disable_silent_elision,omitempty"`
+	CountFillTraffic     bool `json:"count_fill_traffic,omitempty"`
+}
+
+// FieldError locates one validation failure within a spec.
+type FieldError struct {
+	Field string `json:"field"`
+	Msg   string `json:"msg"`
+}
+
+// SpecError is the field-level validation failure of a JobSpec. The API
+// renders Fields directly into the 400 response body.
+type SpecError struct {
+	Fields []FieldError
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.Field + ": " + f.Msg
+	}
+	return "server: invalid spec: " + strings.Join(parts, "; ")
+}
+
+// DecodeSpec parses a JSON job spec strictly — unknown fields, trailing
+// data, and type mismatches are errors, not silent drops — and fills the
+// baseline defaults. The result still needs Validate before it can run.
+func DecodeSpec(b []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("server: spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, fmt.Errorf("server: spec: trailing data after JSON object")
+	}
+	s.Normalize()
+	return s, nil
+}
+
+// Normalize fills zero fields with the paper's baseline defaults. It is
+// idempotent, which is what makes accepted specs round-trip through
+// Canonical byte-for-byte.
+func (s *JobSpec) Normalize() {
+	if s.Cache.SizeKB == 0 {
+		s.Cache.SizeKB = 64
+	}
+	if s.Cache.Ways == 0 {
+		s.Cache.Ways = 4
+	}
+	if s.Cache.BlockBytes == 0 {
+		s.Cache.BlockBytes = 32
+	}
+	if s.Cache.Policy == "" {
+		s.Cache.Policy = "lru"
+	}
+	if s.Options.BufferDepth == 0 {
+		s.Options.BufferDepth = 1
+	}
+	if s.VDD == 0 {
+		s.VDD = 1.0
+	}
+	if s.FreqMHz == 0 {
+		s.FreqMHz = 2000
+	}
+}
+
+// Validate checks every field and returns a *SpecError naming each failure.
+// hasTrace says whether the submission carried a trace upload, which decides
+// the workload/n requirements.
+func (s JobSpec) Validate(hasTrace bool) error {
+	var fields []FieldError
+	add := func(field, format string, args ...any) {
+		fields = append(fields, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	kind, kindErr := core.ParseKind(s.Controller)
+	if s.Controller == "" {
+		add("controller", "required (one of conventional|rmw|localrmw|word|coalesce|wg|wgrb)")
+	} else if kindErr != nil {
+		add("controller", "%v", kindErr)
+	}
+
+	switch {
+	case hasTrace && s.Workload != "":
+		add("workload", "must be empty when a trace is uploaded (one source per job)")
+	case !hasTrace && s.Workload == "":
+		add("workload", "required when no trace is uploaded (see workload names via sramsim -list)")
+	case !hasTrace:
+		if _, err := workload.ProfileByName(s.Workload); err != nil {
+			add("workload", "%v", err)
+		}
+	}
+
+	switch {
+	case s.N < 0:
+		add("n", "must be >= 0")
+	case !hasTrace && s.Workload != "" && s.N == 0:
+		add("n", "must be > 0 for workload jobs (synthetic streams are unbounded)")
+	}
+
+	pol, polErr := cache.ParsePolicy(s.Cache.Policy)
+	if polErr != nil {
+		add("cache.policy", "%v", polErr)
+	}
+	switch {
+	case s.Cache.SizeKB < 0:
+		add("cache.size_kb", "must be positive")
+	case s.Cache.SizeKB > MaxCacheKB:
+		add("cache.size_kb", "%d KB exceeds the service cap of %d KB", s.Cache.SizeKB, MaxCacheKB)
+	default:
+		if _, err := cache.NewGeometry(s.Cache.SizeKB*1024, s.Cache.Ways, s.Cache.BlockBytes); err != nil {
+			add("cache", "%v", err)
+		}
+	}
+
+	if s.Options.BufferDepth < 0 {
+		add("options.buffer_depth", "must be >= 0")
+	}
+	switch {
+	case s.Shards < 0:
+		add("shards", "must be >= 0")
+	case s.Shards > 1 && kindErr == nil && !kind.SetLocal():
+		add("shards", "controller %v keeps cross-set state and cannot be set-sharded; drop shards or pick conventional|word|rmw|localrmw", kind)
+	case s.Shards > 1 && polErr == nil && pol == cache.Random:
+		add("shards", "random replacement draws every set's victims from one shared RNG stream and cannot be set-sharded")
+	}
+	if s.Batch < 0 {
+		add("batch", "must be >= 0")
+	}
+	if s.VDD < 0 {
+		add("vdd", "must be positive")
+	}
+	if s.FreqMHz < 0 {
+		add("freq_mhz", "must be positive")
+	}
+
+	if len(fields) > 0 {
+		return &SpecError{Fields: fields}
+	}
+	return nil
+}
+
+// Canonical renders the spec as canonical JSON (sorted keys, stable number
+// literals). Decoding canonical bytes and re-encoding them reproduces the
+// input exactly — the round-trip property FuzzJobSpec pins.
+func (s JobSpec) Canonical() ([]byte, error) {
+	return report.Canonical(s)
+}
+
+// CacheConfig translates the validated spec into the cache configuration.
+func (s JobSpec) CacheConfig() (cache.Config, error) {
+	pol, err := cache.ParsePolicy(s.Cache.Policy)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	return cache.Config{
+		SizeBytes:  s.Cache.SizeKB * 1024,
+		Ways:       s.Cache.Ways,
+		BlockBytes: s.Cache.BlockBytes,
+		Policy:     pol,
+		Seed:       s.Seed,
+	}, nil
+}
+
+// CoreOptions translates the validated spec into controller options.
+func (s JobSpec) CoreOptions() core.Options {
+	return core.Options{
+		BufferDepth:          s.Options.BufferDepth,
+		DisableSilentElision: s.Options.DisableSilentElision,
+		CountFillTraffic:     s.Options.CountFillTraffic,
+	}
+}

@@ -130,6 +130,16 @@ func (l *Limit) Next() (Access, bool) {
 	return a, true
 }
 
+// Err surfaces the inner stream's decode error when it tracks one, so a
+// bounded replay of a corrupt trace fails like an unbounded one instead of
+// truncating silently.
+func (l *Limit) Err() error {
+	if es, ok := l.inner.(ErrStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
 // Tee forwards a stream while appending every access to sink.
 type Tee struct {
 	inner Stream
