@@ -275,7 +275,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // streamed straight to the spool file (sniffed later by trace.NewAnyReader —
 // gzip, binary C8TT, and text all work). Responses: 202 with the job status,
 // 400 on a malformed or invalid spec (field-level errors), 413 when the body
-// exceeds MaxBodyBytes, 429 when the queue is full, 503 while draining.
+// exceeds MaxBodyBytes or the spec alone exceeds maxSpecBytes, 429 when the
+// queue is full, 503 while draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting.Load() {
 		s.met.rejected.Add(1)
@@ -296,6 +297,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &maxErr):
 			writeJSON(w, http.StatusRequestEntityTooLarge,
 				apiError{Error: fmt.Sprintf("body exceeds the %d-byte limit", maxErr.Limit)})
+		case errors.Is(err, errSpecTooLarge):
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
 		case errors.As(err, &specErr):
 			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid spec", Fields: specErr.Fields})
 		default:
@@ -329,22 +332,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := newJob(s.baseCtx, id, spec, source, hash)
 	j.tracePath = tracePath
 	j.bytesIngested = traceBytes
-	s.jobs[id] = j
-	s.order = append(s.order, id)
+	// jobWG must be incremented before a worker can possibly finish the job.
 	s.jobWG.Add(1)
-	s.mu.Unlock()
-
+	// The enqueue stays under s.mu — with a default arm it cannot block — so
+	// the job is registered if and only if it was enqueued; there is no unwind
+	// window for a concurrent submission to interleave with.
 	select {
 	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.mu.Unlock()
 		s.met.submitted.Add(1)
 		s.met.bytesIn.Add(traceBytes)
 		w.Header().Set("Location", "/v1/jobs/"+id)
 		writeJSON(w, http.StatusAccepted, j.Status())
 	default:
-		// Queue full: unwind the registration and apply backpressure.
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		s.jobWG.Done()
 		if tracePath != "" {
@@ -354,6 +356,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests,
 			apiError{Error: fmt.Sprintf("job queue full (%d queued); retry later", cap(s.queue))})
 	}
+}
+
+// maxSpecBytes bounds a JSON job spec, whether it arrives as a plain body or
+// as the multipart "spec" part. Traces may be huge; specs never are, and the
+// spec is the only submission data read into memory.
+const maxSpecBytes = 1 << 20
+
+// errSpecTooLarge marks a spec body over maxSpecBytes; handleSubmit maps it
+// to 413.
+var errSpecTooLarge = errors.New("spec exceeds the 1 MiB limit")
+
+// readSpecBytes reads at most maxSpecBytes from r, failing explicitly —
+// rather than truncating into a confusing JSON decode error — when more is
+// present.
+func readSpecBytes(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxSpecBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxSpecBytes {
+		return nil, errSpecTooLarge
+	}
+	return b, nil
 }
 
 // readSubmission decodes the spec (and spools a trace upload, when present)
@@ -377,7 +402,7 @@ func (s *Server) readSubmission(r *http.Request) (spec JobSpec, source, tracePat
 			}
 			switch part.FormName() {
 			case "spec":
-				b, rerr := io.ReadAll(io.LimitReader(part, 1<<20))
+				b, rerr := readSpecBytes(part)
 				if rerr != nil {
 					return spec, "", tracePath, traceBytes, rerr
 				}
@@ -412,7 +437,7 @@ func (s *Server) readSubmission(r *http.Request) (spec JobSpec, source, tracePat
 			source = "trace:sha256:" + traceSum
 		}
 	} else {
-		b, rerr := io.ReadAll(r.Body)
+		b, rerr := readSpecBytes(r.Body)
 		if rerr != nil {
 			return spec, "", "", 0, rerr
 		}

@@ -431,6 +431,102 @@ func TestOversizedBody(t *testing.T) {
 	}
 }
 
+// TestOversizedSpec pins the 1 MiB spec cap for both submission forms: a
+// plain JSON body and a multipart "spec" part over the cap are rejected with
+// an explicit 413, not buffered in memory or truncated into a confusing
+// JSON decode 400.
+func TestOversizedSpec(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	big := `{"controller":"wgrb","workload":"bwaves","n":1000,"cache":{"policy":"` +
+		strings.Repeat("x", maxSpecBytes) + `"}}`
+
+	code, b := ts.submit(big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON spec: %d: %s", code, b)
+	}
+	if !strings.Contains(string(b), "1 MiB") {
+		t.Fatalf("413 body should name the spec limit: %s", b)
+	}
+
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	pw, _ := mw.CreateFormField("spec")
+	io.WriteString(pw, big)
+	mw.Close()
+	resp, err := http.Post(ts.hs.URL+"/v1/jobs", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized multipart spec: %d: %s", resp.StatusCode, rb)
+	}
+	if !strings.Contains(string(rb), "1 MiB") {
+		t.Fatalf("413 body should name the spec limit: %s", rb)
+	}
+}
+
+// TestSubmitRace hammers concurrent submissions against a tiny queue while
+// listing jobs throughout — a regression test for the queue-full unwind
+// race, where a rejected submission truncated a concurrent submission's id
+// off the order slice, leaving a dangling id that panicked GET /v1/jobs.
+func TestSubmitRace(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, QueueDepth: 1})
+	const body = `{"controller":"rmw","workload":"bwaves","n":2000}`
+
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Post(ts.hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("submit during storm: %d: %s", resp.StatusCode, b)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	list := func() {
+		t.Helper()
+		resp, err := http.Get(ts.hs.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatalf("list during submit storm: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list during submit storm: %d", resp.StatusCode)
+		}
+	}
+	for {
+		list()
+		select {
+		case <-done:
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			list()
+			return
+		default:
+		}
+	}
+}
+
 // TestMalformedSpec pins the 400 contract: field-level errors for invalid
 // specs, a plain error for unparseable bodies.
 func TestMalformedSpec(t *testing.T) {
