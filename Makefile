@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update ci
+.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzBatcher -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
 	$(GO) test -fuzz=FuzzJobSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
+	$(GO) test -fuzz=FuzzDisk -fuzztime=$(FUZZTIME) -run='^$$' ./internal/rescache
 
 # End-to-end service gate: build sramd, start it on an ephemeral port,
 # submit the pinned golden workload over HTTP, verify the returned artifact
@@ -79,4 +80,13 @@ serve-golden-update:
 		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
 		$(GO) run ./cmd/sramload -smoke -update -sramd "$$tmp/sramd"
 
-ci: build vet fmt-check race regress regress-shard serve-smoke fuzz-smoke
+# Result-cache gate: start sramd with a fresh disk CAS, submit the golden
+# workload twice, and require miss-then-hit with byte-identical artifacts —
+# hit ≡ miss ≡ in-process serial run ≡ golden/serve.json — plus /metrics
+# counters that reflect exactly one miss and one memory-tier hit.
+cache-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -cache-smoke -sramd "$$tmp/sramd" -cache-dir "$$tmp/cas"
+
+ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke fuzz-smoke

@@ -17,6 +17,11 @@
 //	                            CI proves sharded == serial goldens)
 //	regress -bench              append engine serial-vs-parallel throughput
 //	                            to BENCH_regress.json (perf trajectory)
+//	regress -cache-dir DIR      memoize check artifacts in a persistent CAS
+//	                            (shareable with sramd and sweep); repeat runs
+//	                            with the same n/seed decode instead of
+//	                            simulating. Don't combine with -stream/-shards
+//	                            runs whose purpose is proving mode equivalence.
 //
 // Exit status: 0 clean, 1 drift, 2 harness error (missing golden, bad
 // flags, simulation failure).
@@ -32,6 +37,7 @@ import (
 
 	"cache8t/internal/regress"
 	"cache8t/internal/report"
+	"cache8t/internal/rescache"
 )
 
 func main() {
@@ -49,6 +55,7 @@ func main() {
 	shards := flag.Int("shards", 0, "set-shard parallel simulation for set-local controllers (same numbers; cross-set controllers run serially)")
 	bench := flag.Bool("bench", false, "measure serial-vs-parallel engine throughput and append it to -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_regress.json", "throughput trajectory file for -bench")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache CAS for check artifacts (default: no caching)")
 	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
 	if *showVersion {
@@ -58,6 +65,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var cache *rescache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = rescache.Open(rescache.Config{Dir: *cacheDir}); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		defer cache.Close()
+	}
 
 	opts := regress.Options{
 		GoldenDir: *golden,
@@ -70,6 +87,7 @@ func main() {
 		Shards:    *shards,
 		Context:   ctx,
 		Out:       os.Stdout,
+		Cache:     cache,
 	}
 
 	if *bench {

@@ -10,7 +10,16 @@
 //	sramd -listen 127.0.0.1:0              # ephemeral port (printed on stdout)
 //	sramd -queue 128 -max-body 512000000   # backpressure limits
 //	sramd -job-timeout 5m -drain 30s       # per-job cap, shutdown deadline
+//	sramd -cache-dir /var/cache/sramd      # persist the result cache (CAS)
+//	sramd -cache-mem-bytes 134217728       # hot-tier budget (default 64 MiB)
+//	sramd -cache-disk-bytes 2147483648     # CAS size cap (default 1 GiB)
+//	sramd -no-cache                        # disable result caching entirely
 //	sramd -version
+//
+// Result caching is on by default (memory tier only; add -cache-dir for a
+// persistent disk CAS shared with cmd/regress and cmd/sweep). A submission
+// whose config hash is already cached completes instantly with
+// `"cached": true` in its status; see the README "Result caching" section.
 //
 // The daemon prints exactly one line to stdout once it is serving —
 // "sramd listening on http://ADDR" — which is what cmd/sramload's -sramd
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"cache8t/internal/report"
+	"cache8t/internal/rescache"
 	"cache8t/internal/server"
 )
 
@@ -53,6 +63,10 @@ func run() error {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job run deadline (0 = none)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		spool       = flag.String("spool", "", "directory for spooled trace uploads (default: system temp)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the persistent result-cache CAS (default: memory-only)")
+		cacheMem    = flag.Int64("cache-mem-bytes", 0, "result-cache memory-tier budget (0 = 64 MiB)")
+		cacheDisk   = flag.Int64("cache-disk-bytes", 0, "result-cache disk CAS size cap (0 = 1 GiB)")
+		noCache     = flag.Bool("no-cache", false, "disable result caching: every job simulates")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	)
 	flag.Parse()
@@ -60,6 +74,20 @@ func run() error {
 	if *showVersion {
 		fmt.Println(report.Version("sramd"))
 		return nil
+	}
+
+	var cache *rescache.Cache
+	if !*noCache {
+		var err error
+		cache, err = rescache.Open(rescache.Config{
+			Dir:       *cacheDir,
+			MemBytes:  *cacheMem,
+			DiskBytes: *cacheDisk,
+		})
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -72,6 +100,7 @@ func run() error {
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *jobTimeout,
 		SpoolDir:     *spool,
+		Cache:        cache,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 
@@ -80,6 +109,14 @@ func run() error {
 	// The one stdout line tooling scrapes for the resolved address.
 	fmt.Printf("sramd listening on http://%s\n", ln.Addr())
 	log.Printf("version %s, %s", srv.Version, report.Version("sramd"))
+	switch {
+	case cache == nil:
+		log.Printf("result cache disabled")
+	case *cacheDir == "":
+		log.Printf("result cache: memory-only")
+	default:
+		log.Printf("result cache: %s", *cacheDir)
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

@@ -9,6 +9,8 @@
 //	sramload -sramd ./sramd-binary -clients 4 -jobs 16   # spawn a daemon
 //	sramload -smoke -sramd ./sramd-binary                # CI service gate
 //	sramload -smoke -sramd ./sramd-binary -update        # regenerate golden
+//	sramload -repeat 16 -sramd ./sramd-binary            # result-cache bench
+//	sramload -cache-smoke -sramd ./sramd-binary -cache-dir /tmp/cas  # CI cache gate
 //	sramload -version
 //
 // Load mode submits -jobs identical spec jobs across -clients concurrent
@@ -16,7 +18,20 @@
 // and reports p50/p95/p99 submit→result latency and aggregate accesses/sec.
 // Before appending an entry to -out (BENCH_core.json), it verifies that one
 // fetched artifact is byte-for-byte identical to an in-process serial run
-// of the same spec — the service must never change the numbers.
+// of the same spec — the service must never change the numbers. A spawned
+// daemon runs with -no-cache (unless -cache-dir is given) so the load
+// numbers measure simulation, not cache hits.
+//
+// Repeat mode (-repeat K) resubmits the same spec K times sequentially
+// against a caching daemon and reports the hit rate plus cached-vs-uncached
+// p50/p95 latency, appending a "rescache" entry to -out. Every artifact
+// must be byte-identical — hit ≡ miss is the cache's core guarantee.
+//
+// Cache-smoke mode (-cache-smoke) is the CI gate for the result cache:
+// submit the golden workload twice, require the first to compute and the
+// second to arrive `cached: true` without entering the queue, require both
+// byte-identical to a local serial run and matching golden/serve.json, and
+// require /metrics to show exactly one miss and one memory-tier hit.
 //
 // Smoke mode starts the daemon (when -sramd is given), submits one pinned
 // golden workload, verifies the returned artifact byte-for-byte against a
@@ -71,7 +86,10 @@ func run() error {
 		shards      = flag.Int("shards", 0, "set-shard each job (set-local controllers only)")
 		out         = flag.String("out", "BENCH_core.json", "throughput ledger to append the load entry to")
 		smoke       = flag.Bool("smoke", false, "run the CI smoke: one golden job, byte-identity + golden compare, clean shutdown")
-		goldenPath  = flag.String("golden", "golden/serve.json", "golden artifact for -smoke")
+		cacheSmoke  = flag.Bool("cache-smoke", false, "run the result-cache CI smoke: golden job twice, second must be a cache hit")
+		repeat      = flag.Int("repeat", 0, "resubmit the same spec this many times and report cache hit-rate + latency split")
+		cacheDir    = flag.String("cache-dir", "", "pass a persistent CAS dir to the spawned daemon (-sramd mode)")
+		goldenPath  = flag.String("golden", "golden/serve.json", "golden artifact for -smoke and -cache-smoke")
 		update      = flag.Bool("update", false, "with -smoke, regenerate the golden instead of comparing")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
@@ -86,11 +104,21 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// Daemon cache posture per mode: plain load measures simulation
+	// throughput, so a spawned daemon gets -no-cache unless the caller
+	// explicitly pointed it at a CAS; the cache modes want caching on.
+	var daemonArgs []string
+	if *cacheDir != "" {
+		daemonArgs = append(daemonArgs, "-cache-dir", *cacheDir)
+	} else if !*smoke && !*cacheSmoke && *repeat == 0 {
+		daemonArgs = append(daemonArgs, "-no-cache")
+	}
+
 	base := strings.TrimRight(*addr, "/")
 	var daemon *spawnedDaemon
 	if *sramdBin != "" {
 		var err error
-		daemon, err = spawnDaemon(*sramdBin)
+		daemon, err = spawnDaemon(*sramdBin, daemonArgs...)
 		if err != nil {
 			return err
 		}
@@ -102,8 +130,14 @@ func run() error {
 	}
 	c := &client{base: base, hc: &http.Client{}}
 
-	if *smoke {
-		if err := runSmoke(ctx, c, *goldenPath, *update); err != nil {
+	if *smoke || *cacheSmoke {
+		smokeFn := runSmoke
+		if *cacheSmoke {
+			smokeFn = func(ctx context.Context, c *client, goldenPath string, _ bool) error {
+				return runCacheSmoke(ctx, c, goldenPath)
+			}
+		}
+		if err := smokeFn(ctx, c, *goldenPath, *update); err != nil {
 			return err
 		}
 		if daemon != nil {
@@ -126,7 +160,13 @@ func run() error {
 	if err := spec.Validate(false); err != nil {
 		return err
 	}
-	entry, err := runLoad(ctx, c, spec, *clients, *jobs)
+	var entry loadEntry
+	var err error
+	if *repeat > 0 {
+		entry, err = runRepeat(ctx, c, spec, *repeat)
+	} else {
+		entry, err = runLoad(ctx, c, spec, *clients, *jobs)
+	}
 	if err != nil {
 		return err
 	}
@@ -171,7 +211,7 @@ func runLoad(ctx context.Context, c *client, spec server.JobSpec, clients, jobs 
 			defer wg.Done()
 			for range next {
 				t0 := time.Now()
-				art, err := c.runJob(ctx, spec)
+				_, art, err := c.runJob(ctx, spec)
 				lat := time.Since(t0).Seconds() * 1e3
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -233,6 +273,89 @@ func runLoad(ctx context.Context, c *client, spec server.JobSpec, clients, jobs 
 	return e, nil
 }
 
+// runRepeat is the result-cache benchmark: the same spec submitted K times
+// in sequence. The first submission computes; every later one must be a
+// cache hit with byte-identical artifact bytes. The entry records the hit
+// rate and the cached-vs-uncached latency split — the cache's value
+// proposition in numbers.
+func runRepeat(ctx context.Context, c *client, spec server.JobSpec, k int) (loadEntry, error) {
+	if k < 2 {
+		k = 2 // one miss plus at least one chance to hit
+	}
+	var cachedLat, uncachedLat, all []float64
+	var firstArt []byte
+	hits := 0
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		t0 := time.Now()
+		st, art, err := c.runJob(ctx, spec)
+		if err != nil {
+			return loadEntry{}, fmt.Errorf("repeat %d/%d: %w", i+1, k, err)
+		}
+		lat := time.Since(t0).Seconds() * 1e3
+		all = append(all, lat)
+		if st.Cached {
+			hits++
+			cachedLat = append(cachedLat, lat)
+		} else {
+			uncachedLat = append(uncachedLat, lat)
+		}
+		if firstArt == nil {
+			firstArt = art
+		} else if !bytes.Equal(art, firstArt) {
+			return loadEntry{}, fmt.Errorf("repeat %d/%d: cached artifact differs from the first run (%d vs %d bytes)", i+1, k, len(art), len(firstArt))
+		}
+	}
+	wall := time.Since(start)
+	if hits == 0 {
+		return loadEntry{}, fmt.Errorf("no submission hit the cache in %d repeats — is the daemon running with -no-cache?", k)
+	}
+
+	serial := spec
+	serial.Shards = 0
+	local, err := server.Execute(ctx, serial, serial.Workload, nil)
+	if err != nil {
+		return loadEntry{}, err
+	}
+	if !bytes.Equal(firstArt, local) {
+		return loadEntry{}, fmt.Errorf("artifact from daemon differs from local serial run (%d vs %d bytes)", len(firstArt), len(local))
+	}
+	log.Printf("identity verified: all %d artifacts == local serial artifact (%d bytes)", k, len(local))
+
+	sort.Float64s(all)
+	sort.Float64s(cachedLat)
+	sort.Float64s(uncachedLat)
+	e := loadEntry{
+		Schema:        report.SchemaVersion,
+		GitSHA:        report.GitSHA(),
+		UnixMS:        time.Now().UnixMilli(),
+		Mode:          "rescache",
+		Clients:       1,
+		Jobs:          k,
+		Workload:      spec.Workload,
+		Controller:    spec.Controller,
+		N:             spec.N,
+		P50MS:         percentile(all, 0.50),
+		P95MS:         percentile(all, 0.95),
+		P99MS:         percentile(all, 0.99),
+		WallMS:        wall.Seconds() * 1e3,
+		Verified:      true,
+		CachedJobs:    hits,
+		HitRate:       float64(hits) / float64(k),
+		CachedP50MS:   percentile(cachedLat, 0.50),
+		CachedP95MS:   percentile(cachedLat, 0.95),
+		UncachedP50MS: percentile(uncachedLat, 0.50),
+		UncachedP95MS: percentile(uncachedLat, 0.95),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		e.JobsPerSec = float64(k) / secs
+	}
+	fmt.Printf("%d repeats: %d cache hits (%.0f%% hit rate)\n", k, hits, 100*e.HitRate)
+	fmt.Printf("uncached p50 %.1f ms p95 %.1f ms; cached p50 %.2f ms p95 %.2f ms\n",
+		e.UncachedP50MS, e.UncachedP95MS, e.CachedP50MS, e.CachedP95MS)
+	return e, nil
+}
+
 // smokeSpec is the pinned golden workload the CI smoke submits.
 func smokeSpec() server.JobSpec {
 	s := server.JobSpec{Controller: "wgrb", Workload: "bwaves", N: 50_000, Seed: 1}
@@ -248,7 +371,7 @@ func runSmoke(ctx context.Context, c *client, goldenPath string, update bool) er
 		return err
 	}
 	spec := smokeSpec()
-	got, err := c.runJob(ctx, spec)
+	_, got, err := c.runJob(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -296,6 +419,75 @@ func runSmoke(ctx context.Context, c *client, goldenPath string, update bool) er
 	return nil
 }
 
+// runCacheSmoke gates the result cache end to end: the golden workload
+// submitted twice against a caching daemon. The first run must compute and
+// match both a local serial run and the checked-in golden; the second must
+// come back `cached: true`, already terminal in its 202 (it never entered
+// the queue), byte-identical, and visible in the rescache_* metrics.
+func runCacheSmoke(ctx context.Context, c *client, goldenPath string) error {
+	if err := c.checkHealth(ctx); err != nil {
+		return err
+	}
+	spec := smokeSpec()
+
+	first, miss, err := c.runJob(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if first.Cached {
+		return fmt.Errorf("first submission was already a cache hit; the cache dir is not fresh")
+	}
+	local, err := server.Execute(ctx, spec, spec.Workload, nil)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(miss, local) {
+		return fmt.Errorf("uncached artifact differs from local serial run (%d vs %d bytes)", len(miss), len(local))
+	}
+
+	second, hit, err := c.runJob(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !second.Cached {
+		return fmt.Errorf("repeat submission was not served from the cache")
+	}
+	if !bytes.Equal(hit, miss) {
+		return fmt.Errorf("cache-hit artifact differs from the uncached run (%d vs %d bytes)", len(hit), len(miss))
+	}
+	log.Printf("identity verified: hit == miss == local serial artifact (%d bytes)", len(hit))
+
+	golden, err := report.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `sramload -smoke -update` to create it)", err)
+	}
+	hitArt, err := report.Decode(hit)
+	if err != nil {
+		return err
+	}
+	if diff := report.Compare(golden, hitArt, report.Bands{}); !diff.OK() {
+		t := diff.Table(fmt.Sprintf("cache-smoke [DRIFT] vs %s", goldenPath), false)
+		t.Render(os.Stderr)
+		return fmt.Errorf("cached artifact drifted from %s", goldenPath)
+	}
+
+	body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"rescache_misses_total 1",
+		`rescache_hits_total{tier="memory"} 1`,
+		"rescache_bytes_served_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("/metrics missing %q after one miss and one hit", want)
+		}
+	}
+	fmt.Printf("cache-smoke ok — hit ≡ miss ≡ serial, matches %s, metrics consistent\n", goldenPath)
+	return nil
+}
+
 // loadEntry is one appended record of service throughput in the
 // BENCH_core.json ledger (heterogeneous entries; see regress.AppendLedger).
 type loadEntry struct {
@@ -316,6 +508,13 @@ type loadEntry struct {
 	JobsPerSec     float64 `json:"jobs_per_sec"`
 	AccessesPerSec float64 `json:"accesses_per_sec"`
 	Verified       bool    `json:"verified_identical"`
+	// Result-cache fields, set by -repeat ("rescache" entries).
+	CachedJobs    int     `json:"cached_jobs,omitempty"`
+	HitRate       float64 `json:"hit_rate,omitempty"`
+	CachedP50MS   float64 `json:"cached_p50_ms,omitempty"`
+	CachedP95MS   float64 `json:"cached_p95_ms,omitempty"`
+	UncachedP50MS float64 `json:"uncached_p50_ms,omitempty"`
+	UncachedP95MS float64 `json:"uncached_p95_ms,omitempty"`
 }
 
 // percentile returns the q-quantile of sorted xs (nearest-rank).
@@ -379,53 +578,56 @@ func (c *client) checkHealth(ctx context.Context) error {
 }
 
 // runJob submits spec, waits for the terminal state via the SSE event
-// stream, and fetches the artifact. A full queue (429) backs off and
-// retries — that is the load generator meeting backpressure, not an error.
-func (c *client) runJob(ctx context.Context, spec server.JobSpec) ([]byte, error) {
+// stream, and fetches the artifact, returning the terminal status (whose
+// Cached field says whether the result cache served it) alongside the
+// bytes. A cache hit is already terminal in the 202 response and skips the
+// SSE wait. A full queue (429) backs off and retries — that is the load
+// generator meeting backpressure, not an error.
+func (c *client) runJob(ctx context.Context, spec server.JobSpec) (server.JobStatus, []byte, error) {
 	specBytes, err := spec.Canonical()
 	if err != nil {
-		return nil, err
+		return server.JobStatus{}, nil, err
 	}
-	var id string
+	var st server.JobStatus
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(specBytes))
 		if err != nil {
-			return nil, err
+			return server.JobStatus{}, nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return nil, err
+			return server.JobStatus{}, nil, err
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusTooManyRequests {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return server.JobStatus{}, nil, ctx.Err()
 			case <-time.After(10 * time.Millisecond):
 			}
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			return server.JobStatus{}, nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 		}
-		var st server.JobStatus
 		if err := json.Unmarshal(body, &st); err != nil {
-			return nil, err
+			return server.JobStatus{}, nil, err
 		}
-		id = st.ID
 		break
 	}
 
-	st, err := c.waitTerminal(ctx, id)
-	if err != nil {
-		return nil, err
+	if !st.State.Terminal() {
+		if st, err = c.waitTerminal(ctx, st.ID); err != nil {
+			return server.JobStatus{}, nil, err
+		}
 	}
 	if st.State != server.StateSucceeded {
-		return nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		return st, nil, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
 	}
-	return c.get(ctx, "/v1/jobs/"+id+"/result")
+	art, err := c.get(ctx, "/v1/jobs/"+st.ID+"/result")
+	return st, art, err
 }
 
 // waitTerminal follows the job's SSE stream until a terminal status event.
@@ -469,10 +671,11 @@ type spawnedDaemon struct {
 	base string
 }
 
-// spawnDaemon starts bin on an ephemeral port and scrapes the resolved
-// address from its single stdout line.
-func spawnDaemon(bin string) (*spawnedDaemon, error) {
-	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+// spawnDaemon starts bin on an ephemeral port (plus any extra flags, e.g.
+// cache posture) and scrapes the resolved address from its single stdout
+// line.
+func spawnDaemon(bin string, extra ...string) (*spawnedDaemon, error) {
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, extra...)...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -16,10 +16,14 @@
 //	sweep -shards 4                set-shard the RMW baseline inside each job
 //	                               (identical tables; WG/WGRB keep cross-set
 //	                               state and run serially)
+//	sweep -cache-dir DIR           memoize each (grid cell, benchmark) pair in
+//	                               a persistent CAS (shareable with sramd and
+//	                               regress); repeat sweeps skip finished cells
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +36,7 @@ import (
 	"cache8t/internal/core"
 	"cache8t/internal/engine"
 	"cache8t/internal/report"
+	"cache8t/internal/rescache"
 	"cache8t/internal/stats"
 	"cache8t/internal/workload"
 )
@@ -51,6 +56,7 @@ func main() {
 	streamMode := flag.Bool("stream", false, "stream each job's trace instead of materializing (constant memory; same tables)")
 	shards := flag.Int("shards", 0, "set-shard each job's set-local runs across this many goroutines (same tables)")
 	reportPath := flag.String("report", "", "write the sweep artifact (canonical JSON) to this path")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache CAS for (cell, benchmark) reductions (default: no caching)")
 	showVersion := flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	flag.Parse()
 	if *showVersion {
@@ -70,6 +76,14 @@ func main() {
 	// because each table renders only after its cells all complete.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var rc *rescache.Cache
+	if *cacheDir != "" {
+		if rc, err = rescache.Open(rescache.Config{Dir: *cacheDir}); err != nil {
+			log.Fatal(err)
+		}
+		defer rc.Close()
+	}
 
 	profiles, err := workload.Resolve(*bench)
 	if err != nil {
@@ -103,15 +117,22 @@ func main() {
 			c := c
 			for si, src := range srcs {
 				src := src
+				prof := profiles[si]
 				jobs = append(jobs, engine.Job[float64]{
-					Label:  fmt.Sprintf("cell%d/%s", ci, profiles[si].Name),
+					Label:  fmt.Sprintf("cell%d/%s", ci, prof.Name),
 					Weight: 2 * int64(*n),
 					Fn: func(jctx context.Context) (float64, error) {
-						res, err := runPair(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, src, *shards)
-						if err != nil {
-							return 0, err
+						compute := func() (float64, error) {
+							res, err := runPair(jctx, []core.Kind{core.RMW, kind}, c.cfg, c.opts, src, *shards)
+							if err != nil {
+								return 0, err
+							}
+							return stats.Reduction(res[1].ArrayAccesses(), res[0].ArrayAccesses()), nil
 						}
-						return stats.Reduction(res[1].ArrayAccesses(), res[0].ArrayAccesses()), nil
+						if rc == nil {
+							return compute()
+						}
+						return cachedReduction(jctx, rc, reductionKey(kind, prof.Name, *n, *seed, c.cfg, c.opts), compute)
 					},
 				})
 			}
@@ -222,6 +243,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%s\n", js)
 	}
+	if rc != nil {
+		cs := rc.Snapshot()
+		fmt.Fprintf(os.Stderr, "sweep: result cache: %d hits, %d misses, %d deduped (%d blobs on disk)\n",
+			cs.Hits(), cs.Misses, cs.Dedups, cs.DiskEntries)
+	}
 
 	if *reportPath != "" {
 		esnap := eng.Snapshot()
@@ -232,6 +258,52 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
+}
+
+// reductionKey derives the cache key for one (grid cell, benchmark)
+// reduction: every knob that shapes the number, and only those — stream
+// mode, shards, and workers provably do not change the tables, exactly as
+// the server's config hash excludes them.
+func reductionKey(kind core.Kind, bench string, n int, seed uint64, cfg cache.Config, opts core.Options) string {
+	key, err := report.Hash(map[string]string{
+		"kind":                    "sweep-reduction",
+		"controller":              kind.String(),
+		"bench":                   bench,
+		"n":                       fmt.Sprint(n),
+		"seed":                    fmt.Sprint(seed),
+		"cache_size_bytes":        fmt.Sprint(cfg.SizeBytes),
+		"cache_ways":              fmt.Sprint(cfg.Ways),
+		"cache_block_bytes":       fmt.Sprint(cfg.BlockBytes),
+		"cache_policy":            cfg.Policy.String(),
+		"buffer_depth":            fmt.Sprint(opts.BufferDepth),
+		"silent_elision_disabled": fmt.Sprint(opts.DisableSilentElision),
+		"count_fill_traffic":      fmt.Sprint(opts.CountFillTraffic),
+	})
+	if err != nil {
+		log.Fatal(err) // canonical-encoding a string map cannot fail
+	}
+	return key
+}
+
+// cachedReduction memoizes one reduction value through the CAS: the blob
+// is the canonical encoding of {"reduction": v}, so cached sweeps decode
+// the exact float a fresh simulation would produce.
+func cachedReduction(ctx context.Context, rc *rescache.Cache, key string, compute func() (float64, error)) (float64, error) {
+	blob, _, err := rc.Do(ctx, key, func() ([]byte, error) {
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return report.Canonical(map[string]float64{"reduction": v})
+	})
+	if err != nil {
+		return 0, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return 0, fmt.Errorf("sweep: corrupt cached reduction: %w", err)
+	}
+	return m["reduction"], nil
 }
 
 // runPair drives both kinds of a reduction comparison over src. Without

@@ -66,6 +66,7 @@ type Job struct {
 	state     State
 	errText   string
 	artifact  []byte // canonical artifact bytes, set on success
+	cached    bool   // artifact served from the result cache, not computed
 	notifyCh  chan struct{}
 	submitted time.Time
 	started   time.Time
@@ -139,6 +140,15 @@ func (j *Job) finish(state State, errText string, artifact []byte) bool {
 	return true
 }
 
+// markCached flags the job as served from the result cache. The artifact
+// bytes are byte-identical to a computed run — the identity tests pin that
+// — so this is pure provenance, surfaced as `"cached": true` in status.
+func (j *Job) markCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+}
+
 // Artifact returns the canonical artifact bytes (nil unless succeeded).
 func (j *Job) Artifact() []byte {
 	j.mu.Lock()
@@ -164,7 +174,10 @@ type JobStatus struct {
 	// the job succeeds).
 	Accesses      uint64 `json:"accesses"`
 	BytesIngested int64  `json:"bytes_ingested,omitempty"`
-	Error         string `json:"error,omitempty"`
+	// Cached marks an artifact served from the result cache rather than
+	// simulated; the bytes are identical either way.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// SubmittedUnixMS stamps submission; QueueMS and RunMS split the job's
 	// life between waiting and executing (running jobs report RunMS so far).
 	SubmittedUnixMS int64   `json:"submitted_unix_ms"`
@@ -184,6 +197,7 @@ func (j *Job) Status() JobStatus {
 		ConfigHash:      j.ConfigHash,
 		Accesses:        j.accesses.Load(),
 		BytesIngested:   j.bytesIngested,
+		Cached:          j.cached,
 		Error:           j.errText,
 		SubmittedUnixMS: j.submitted.UnixMilli(),
 	}

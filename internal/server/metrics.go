@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"cache8t/internal/rescache"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-kind job latency
@@ -73,8 +75,9 @@ func (m *serverMetrics) observe(kind string, seconds float64, accesses uint64, s
 }
 
 // render writes the Prometheus text exposition. queueDepth and queueCap come
-// from the server's live channel state.
-func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting bool) {
+// from the server's live channel state; cache is the result cache snapshot
+// (nil when caching is disabled — the rescache_* series are then absent).
+func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting bool, cache *rescache.Snapshot) {
 	up := 0
 	if accepting {
 		up = 1
@@ -103,6 +106,39 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting 
 		fmt.Fprintf(w, "# HELP sramd_accesses_per_second Simulated accesses per busy second across terminal jobs.\n")
 		fmt.Fprintf(w, "# TYPE sramd_accesses_per_second gauge\nsramd_accesses_per_second %g\n",
 			float64(m.accesses.Load())/busy)
+	}
+
+	if cache != nil {
+		fmt.Fprintf(w, "# HELP rescache_hits_total Result-cache hits by serving tier.\n")
+		fmt.Fprintf(w, "# TYPE rescache_hits_total counter\n")
+		fmt.Fprintf(w, "rescache_hits_total{tier=\"memory\"} %d\n", cache.MemHits)
+		fmt.Fprintf(w, "rescache_hits_total{tier=\"disk\"} %d\n", cache.DiskHits)
+		fmt.Fprintf(w, "# HELP rescache_misses_total Result-cache misses (jobs actually simulated).\n")
+		fmt.Fprintf(w, "# TYPE rescache_misses_total counter\nrescache_misses_total %d\n", cache.Misses)
+		fmt.Fprintf(w, "# HELP rescache_dedup_total Jobs that shared an identical in-flight computation (singleflight).\n")
+		fmt.Fprintf(w, "# TYPE rescache_dedup_total counter\nrescache_dedup_total %d\n", cache.Dedups)
+		fmt.Fprintf(w, "# HELP rescache_bytes_served_total Artifact bytes served from the cache.\n")
+		fmt.Fprintf(w, "# TYPE rescache_bytes_served_total counter\nrescache_bytes_served_total %d\n", cache.BytesServed)
+		fmt.Fprintf(w, "# HELP rescache_put_errors_total Disk-tier writes that failed (memory tier still served).\n")
+		fmt.Fprintf(w, "# TYPE rescache_put_errors_total counter\nrescache_put_errors_total %d\n", cache.PutErrors)
+		fmt.Fprintf(w, "# HELP rescache_mem_entries Artifacts resident in the memory tier.\n")
+		fmt.Fprintf(w, "# TYPE rescache_mem_entries gauge\nrescache_mem_entries %d\n", cache.MemEntries)
+		fmt.Fprintf(w, "# HELP rescache_mem_bytes Bytes resident in the memory tier.\n")
+		fmt.Fprintf(w, "# TYPE rescache_mem_bytes gauge\nrescache_mem_bytes %d\n", cache.MemBytes)
+		fmt.Fprintf(w, "# TYPE rescache_mem_cap_bytes gauge\nrescache_mem_cap_bytes %d\n", cache.MemCapBytes)
+		fmt.Fprintf(w, "# HELP rescache_evictions_total Entries evicted by tier.\n")
+		fmt.Fprintf(w, "# TYPE rescache_evictions_total counter\n")
+		fmt.Fprintf(w, "rescache_evictions_total{tier=\"memory\"} %d\n", cache.MemEvictions)
+		fmt.Fprintf(w, "rescache_evictions_total{tier=\"disk\"} %d\n", cache.DiskEvictions)
+		if cache.Dir != "" {
+			fmt.Fprintf(w, "# HELP rescache_disk_entries Blobs resident in the disk CAS.\n")
+			fmt.Fprintf(w, "# TYPE rescache_disk_entries gauge\nrescache_disk_entries %d\n", cache.DiskEntries)
+			fmt.Fprintf(w, "# HELP rescache_disk_bytes Bytes resident in the disk CAS.\n")
+			fmt.Fprintf(w, "# TYPE rescache_disk_bytes gauge\nrescache_disk_bytes %d\n", cache.DiskBytes)
+			fmt.Fprintf(w, "# TYPE rescache_disk_cap_bytes gauge\nrescache_disk_cap_bytes %d\n", cache.DiskCapBytes)
+			fmt.Fprintf(w, "# HELP rescache_corrupt_total Blobs or key links rejected by integrity re-verification.\n")
+			fmt.Fprintf(w, "# TYPE rescache_corrupt_total counter\nrescache_corrupt_total %d\n", cache.DiskCorrupt)
+		}
 	}
 
 	m.mu.Lock()

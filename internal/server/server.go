@@ -27,6 +27,7 @@ import (
 
 	"cache8t/internal/engine"
 	"cache8t/internal/report"
+	"cache8t/internal/rescache"
 	"cache8t/internal/trace"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	SpoolDir string
 	// Version is reported by /healthz ("" = report.GitSHA()).
 	Version string
+	// Cache, when set, memoizes job results by config hash: a submission
+	// whose hash is already cached short-circuits the queue and finishes
+	// succeeded with `cached: true`; concurrent identical jobs singleflight
+	// through one engine execution. nil disables caching entirely. The
+	// server does not own the cache — the caller closes it after Shutdown.
+	Cache *rescache.Cache
 
 	// testWrapStream, when set (package tests only), interposes on every
 	// job's stream after the progress counter — the hook tests use to gate a
@@ -84,8 +91,9 @@ type Server struct {
 	// Version is the build identifier /healthz reports.
 	Version string
 
-	eng   *engine.Engine[*report.Artifact]
+	eng   *engine.Engine[[]byte]
 	met   *serverMetrics
+	cache *rescache.Cache
 	queue chan *Job
 
 	baseCtx    context.Context
@@ -108,8 +116,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		Version: cfg.Version,
-		eng:     engine.New[*report.Artifact](engine.Config{Workers: 1, JobTimeout: cfg.JobTimeout}),
+		eng:     engine.New[[]byte](engine.Config{Workers: 1, JobTimeout: cfg.JobTimeout}),
 		met:     newServerMetrics(),
+		cache:   cfg.Cache,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		jobs:    map[string]*Job{},
@@ -173,11 +182,11 @@ func (s *Server) runJob(j *Job) {
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
-	outs, _ := s.eng.Run(j.ctx, []engine.Job[*report.Artifact]{{
+	outs, _ := s.eng.Run(j.ctx, []engine.Job[[]byte]{{
 		Label:  j.ID,
 		Weight: int64(j.Spec.N),
-		Fn: func(ctx context.Context) (*report.Artifact, error) {
-			return s.execute(ctx, j)
+		Fn: func(ctx context.Context) ([]byte, error) {
+			return s.executeBytes(ctx, j)
 		},
 	}})
 	out := outs[0]
@@ -191,13 +200,39 @@ func (s *Server) runJob(j *Job) {
 	case out.Err != nil:
 		s.finishJob(j, StateFailed, out.Err.Error(), nil)
 	default:
-		b, err := report.Encode(out.Value)
-		if err != nil {
-			s.finishJob(j, StateFailed, err.Error(), nil)
-			return
-		}
-		s.finishJob(j, StateSucceeded, "", b)
+		s.finishJob(j, StateSucceeded, "", out.Value)
 	}
+}
+
+// executeBytes produces the job's encoded canonical artifact, through the
+// result cache when one is configured. Do covers the race the submit-time
+// check cannot: identical jobs already in flight when this one was
+// enqueued. A leader computes (and populates both tiers); a follower
+// shares the leader's bytes and is marked cached — byte-identity between
+// the two is exactly the determinism contract the identity tests pin.
+// Do also re-checks the tiers, catching a twin that finished while this
+// job sat queued.
+func (s *Server) executeBytes(ctx context.Context, j *Job) ([]byte, error) {
+	if s.cache == nil {
+		return s.executeEncoded(ctx, j)
+	}
+	blob, cached, err := s.cache.Do(ctx, j.ConfigHash, func() ([]byte, error) {
+		return s.executeEncoded(ctx, j)
+	})
+	if cached {
+		j.markCached()
+	}
+	return blob, err
+}
+
+// executeEncoded runs the job and encodes its artifact to the canonical
+// bytes every caller (HTTP result, cache blob) serves verbatim.
+func (s *Server) executeEncoded(ctx context.Context, j *Job) ([]byte, error) {
+	art, err := s.execute(ctx, j)
+	if err != nil {
+		return nil, err
+	}
+	return report.Encode(art)
 }
 
 // execute opens the job's source, hangs the progress counter on it, and runs
@@ -317,6 +352,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Submit-time cache check: a hit never touches the queue. The job is
+	// registered (so status/result/list work as for any job) and finished
+	// succeeded in one stroke, with the stored canonical bytes as its
+	// artifact and `cached: true` as provenance. The 202 response already
+	// carries the terminal status. Misses are not counted here — the job may
+	// still dedup against an in-flight twin; executeBytes classifies it.
+	if s.cache != nil {
+		if blob, _, ok := s.cache.Get(hash); ok {
+			s.mu.Lock()
+			if !s.accepting.Load() {
+				s.mu.Unlock()
+				s.refuseDraining(w, tracePath)
+				return
+			}
+			s.nextID++
+			id := fmt.Sprintf("j-%06d", s.nextID)
+			j := newJob(s.baseCtx, id, spec, source, hash)
+			j.tracePath = tracePath
+			j.bytesIngested = traceBytes
+			j.markCached()
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.jobWG.Add(1)
+			s.mu.Unlock()
+			s.met.submitted.Add(1)
+			s.met.bytesIn.Add(traceBytes)
+			s.finishJob(j, StateSucceeded, "", blob)
+			w.Header().Set("Location", "/v1/jobs/"+id)
+			writeJSON(w, http.StatusAccepted, j.Status())
+			return
+		}
+	}
+
 	s.mu.Lock()
 	if !s.accepting.Load() {
 		s.mu.Unlock()
@@ -356,6 +424,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests,
 			apiError{Error: fmt.Sprintf("job queue full (%d queued); retry later", cap(s.queue))})
 	}
+}
+
+// refuseDraining rejects a submission that lost the race with Shutdown,
+// cleaning up any spooled trace.
+func (s *Server) refuseDraining(w http.ResponseWriter, tracePath string) {
+	s.met.rejected.Add(1)
+	if tracePath != "" {
+		os.Remove(tracePath)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining; not accepting jobs"})
 }
 
 // maxSpecBytes bounds a JSON job spec, whether it arrives as a plain body or
@@ -583,5 +661,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, len(s.queue), cap(s.queue), s.accepting.Load())
+	var snap *rescache.Snapshot
+	if s.cache != nil {
+		v := s.cache.Snapshot()
+		snap = &v
+	}
+	s.met.render(w, len(s.queue), cap(s.queue), s.accepting.Load(), snap)
 }
