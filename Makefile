@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke ci
+.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke crash-smoke ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzBatcher -fuzztime=$(FUZZTIME) -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pinlite
 	$(GO) test -fuzz=FuzzJobSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
+	$(GO) test -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
 	$(GO) test -fuzz=FuzzDisk -fuzztime=$(FUZZTIME) -run='^$$' ./internal/rescache
 
 # End-to-end service gate: build sramd, start it on an ephemeral port,
@@ -89,4 +90,14 @@ cache-smoke:
 		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
 		$(GO) run ./cmd/sramload -cache-smoke -sramd "$$tmp/sramd" -cache-dir "$$tmp/cas"
 
-ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke fuzz-smoke
+# Crash-recovery gate: start a journaled sramd, submit the golden workload
+# with per-batch checkpointing, kill -9 mid-job, restart on the same journal
+# dir, and require the job to survive under its id, resume from a
+# checkpoint, and finish byte-identical to golden/serve.json. Also checks
+# stale-lock takeover and the live-twin fail-fast.
+crash-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -crash-smoke -sramd "$$tmp/sramd" -journal-dir "$$tmp/journal"
+
+ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke crash-smoke fuzz-smoke

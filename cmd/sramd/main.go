@@ -14,12 +14,22 @@
 //	sramd -cache-mem-bytes 134217728       # hot-tier budget (default 64 MiB)
 //	sramd -cache-disk-bytes 2147483648     # CAS size cap (default 1 GiB)
 //	sramd -no-cache                        # disable result caching entirely
+//	sramd -journal-dir /var/lib/sramd      # durable jobs: survive a kill -9
+//	sramd -checkpoint-every 4              # denser mid-job checkpoints
 //	sramd -version
 //
 // Result caching is on by default (memory tier only; add -cache-dir for a
 // persistent disk CAS shared with cmd/regress and cmd/sweep). A submission
 // whose config hash is already cached completes instantly with
 // `"cached": true` in its status; see the README "Result caching" section.
+//
+// -journal-dir makes jobs durable: state transitions are fsynced to an
+// append-only journal, running jobs checkpoint their full controller state
+// into the result cache, and a restarted daemon replays the journal — same
+// job ids, same states, running jobs resumed from their latest checkpoint.
+// The directory is locked per daemon (stale locks from a crash are taken
+// over; a live twin fails fast). See DESIGN.md §12 and the README
+// "Durability and crash recovery" section.
 //
 // The daemon prints exactly one line to stdout once it is serving —
 // "sramd listening on http://ADDR" — which is what cmd/sramload's -sramd
@@ -38,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -67,6 +78,8 @@ func run() error {
 		cacheMem    = flag.Int64("cache-mem-bytes", 0, "result-cache memory-tier budget (0 = 64 MiB)")
 		cacheDisk   = flag.Int64("cache-disk-bytes", 0, "result-cache disk CAS size cap (0 = 1 GiB)")
 		noCache     = flag.Bool("no-cache", false, "disable result caching: every job simulates")
+		journalDir  = flag.String("journal-dir", "", "directory for the durable job journal: jobs survive a daemon kill (default: off)")
+		ckptEvery   = flag.Int("checkpoint-every", 16, "with -journal-dir, checkpoint running jobs every N batches (0 = journal only, no checkpoints)")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 	)
 	flag.Parse()
@@ -76,6 +89,24 @@ func run() error {
 		return nil
 	}
 
+	if *journalDir != "" {
+		if *noCache {
+			return fmt.Errorf("-journal-dir requires the result cache (specs and checkpoints live in its disk CAS); drop -no-cache")
+		}
+		// The journal claims its directory exclusively: fail fast on an
+		// unwritable path or a live twin daemon, take over a stale lock left
+		// by a crash. Released on clean shutdown only.
+		release, err := server.AcquireDirLock(*journalDir)
+		if err != nil {
+			return err
+		}
+		defer release()
+		if *cacheDir == "" {
+			// Durability needs a disk CAS; co-locate it with the journal so
+			// one -journal-dir flag yields a fully durable daemon.
+			*cacheDir = filepath.Join(*journalDir, "cas")
+		}
+	}
 	var cache *rescache.Cache
 	if !*noCache {
 		var err error
@@ -88,20 +119,35 @@ func run() error {
 			return err
 		}
 		defer cache.Close()
+		// Lock the CAS dir after Open: a fresh CAS dir must be empty when
+		// Open first sees it, and Open's own errors already cover the
+		// unwritable case. The lock adds live-twin detection.
+		if *cacheDir != "" {
+			release, err := server.AcquireDirLock(*cacheDir)
+			if err != nil {
+				return err
+			}
+			defer release()
+		}
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		MaxBodyBytes: *maxBody,
-		JobTimeout:   *jobTimeout,
-		SpoolDir:     *spool,
-		Cache:        cache,
+	srv, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		MaxBodyBytes:    *maxBody,
+		JobTimeout:      *jobTimeout,
+		SpoolDir:        *spool,
+		Cache:           cache,
+		JournalDir:      *journalDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 
 	serveErr := make(chan error, 1)
@@ -116,6 +162,9 @@ func run() error {
 		log.Printf("result cache: memory-only")
 	default:
 		log.Printf("result cache: %s", *cacheDir)
+	}
+	if *journalDir != "" {
+		log.Printf("job journal: %s (checkpoint every %d batches)", *journalDir, *ckptEvery)
 	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,6 +11,7 @@
 //	sramload -smoke -sramd ./sramd-binary -update        # regenerate golden
 //	sramload -repeat 16 -sramd ./sramd-binary            # result-cache bench
 //	sramload -cache-smoke -sramd ./sramd-binary -cache-dir /tmp/cas  # CI cache gate
+//	sramload -crash-smoke -sramd ./sramd-binary          # CI crash-recovery gate
 //	sramload -version
 //
 // Load mode submits -jobs identical spec jobs across -clients concurrent
@@ -32,6 +33,14 @@
 // second to arrive `cached: true` without entering the queue, require both
 // byte-identical to a local serial run and matching golden/serve.json, and
 // require /metrics to show exactly one miss and one memory-tier hit.
+//
+// Crash-smoke mode (-crash-smoke) is the CI gate for durability: start a
+// journaled daemon, submit the golden workload with per-batch
+// checkpointing, kill -9 mid-job, restart on the same journal, and require
+// the job to survive under its id, resume from a checkpoint, and finish
+// with an artifact byte-identical to a local serial run and to
+// golden/serve.json. It also checks the stale-lock takeover and the
+// live-twin refusal.
 //
 // Smoke mode starts the daemon (when -sramd is given), submits one pinned
 // golden workload, verifies the returned artifact byte-for-byte against a
@@ -87,6 +96,8 @@ func run() error {
 		out         = flag.String("out", "BENCH_core.json", "throughput ledger to append the load entry to")
 		smoke       = flag.Bool("smoke", false, "run the CI smoke: one golden job, byte-identity + golden compare, clean shutdown")
 		cacheSmoke  = flag.Bool("cache-smoke", false, "run the result-cache CI smoke: golden job twice, second must be a cache hit")
+		crashSmoke  = flag.Bool("crash-smoke", false, "run the crash-recovery CI smoke: kill -9 a daemon mid-job, restart, require the recovered artifact to match the golden")
+		journalDir  = flag.String("journal-dir", "", "journal dir for -crash-smoke (default: a fresh temp dir)")
 		repeat      = flag.Int("repeat", 0, "resubmit the same spec this many times and report cache hit-rate + latency split")
 		cacheDir    = flag.String("cache-dir", "", "pass a persistent CAS dir to the spawned daemon (-sramd mode)")
 		goldenPath  = flag.String("golden", "golden/serve.json", "golden artifact for -smoke and -cache-smoke")
@@ -103,6 +114,25 @@ func run() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	// The crash smoke manages its own daemon generations (it kills one and
+	// starts another on the same state), so it branches before the generic
+	// spawn below.
+	if *crashSmoke {
+		if *sramdBin == "" {
+			return fmt.Errorf("-crash-smoke requires -sramd (it must kill and restart the daemon)")
+		}
+		jdir := *journalDir
+		if jdir == "" {
+			tmp, err := os.MkdirTemp("", "sramd-crash-smoke-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			jdir = tmp
+		}
+		return runCrashSmoke(ctx, *sramdBin, jdir, *goldenPath)
+	}
 
 	// Daemon cache posture per mode: plain load measures simulation
 	// throughput, so a spawned daemon gets -no-cache unless the caller
@@ -488,6 +518,156 @@ func runCacheSmoke(ctx context.Context, c *client, goldenPath string) error {
 	return nil
 }
 
+// runCrashSmoke gates crash recovery end to end — the durability analogue of
+// runSmoke:
+//
+//  1. start a daemon with a journal, submit the golden workload with a tiny
+//     batch and per-batch checkpointing (execution knobs: the config hash,
+//     and therefore the artifact, are unchanged),
+//  2. kill -9 the daemon once the job is provably mid-run,
+//  3. verify a second daemon on the same journal dir refuses to start while
+//     the first still runs would be ideal — what we can check here is the
+//     converse: a daemon started while the *restarted* daemon holds the lock
+//     fails fast with a clear error,
+//  4. restart on the same state: the job must still exist under its id,
+//     resume from a checkpoint, and finish with an artifact byte-identical
+//     to a local serial run and to golden/serve.json.
+func runCrashSmoke(ctx context.Context, bin, jdir, goldenPath string) error {
+	d1, err := spawnDaemon(bin, "-journal-dir", jdir, "-checkpoint-every", "1", "-workers", "1")
+	if err != nil {
+		return err
+	}
+	defer d1.kill()
+	c1 := &client{base: d1.base, hc: &http.Client{}}
+	if err := c1.checkHealth(ctx); err != nil {
+		return err
+	}
+
+	// The golden spec with a small batch: per-batch checkpoints fsync into
+	// the CAS, which stretches the run enough to kill it mid-flight without
+	// sleeping or guessing.
+	spec := smokeSpec()
+	spec.Batch = 64
+	st, err := c1.submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("submitted %s; waiting for it to be provably mid-run", st.ID)
+
+	// Poll until enough accesses have been simulated that tens of
+	// checkpoints exist, then kill -9.
+	const minAccesses = 5000
+	for st.Accesses < minAccesses {
+		if st.State.Terminal() {
+			return fmt.Errorf("job %s finished (%s) before the crash could be injected; checkpointing is not throttling the run", st.ID, st.State)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+		body, err := c1.get(ctx, "/v1/jobs/"+st.ID)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return err
+		}
+	}
+	log.Printf("job %s at %d accesses — kill -9", st.ID, st.Accesses)
+	d1.kill() // SIGKILL + reap: no drain, no journal close, no lock release
+
+	d2, err := spawnDaemon(bin, "-journal-dir", jdir, "-checkpoint-every", "1", "-workers", "1")
+	if err != nil {
+		return fmt.Errorf("restart on the crashed journal (stale-lock takeover): %w", err)
+	}
+	defer d2.kill()
+	c2 := &client{base: d2.base, hc: &http.Client{}}
+	if err := c2.checkHealth(ctx); err != nil {
+		return err
+	}
+
+	// While daemon 2 is alive, a third daemon on the same journal dir must
+	// fail fast with a clear lock error — the live-twin guard.
+	if out, err := exec.Command(bin, "-listen", "127.0.0.1:0", "-journal-dir", jdir).CombinedOutput(); err == nil {
+		return fmt.Errorf("a second live daemon started on the same journal dir")
+	} else if !strings.Contains(string(out), "locked by running sramd") {
+		return fmt.Errorf("twin-daemon start did not explain the lock conflict: %v: %s", err, out)
+	}
+	log.Printf("live-twin daemon refused with a clear lock error")
+
+	// The job survived under its original id and runs to completion.
+	body, err := c2.get(ctx, "/v1/jobs/"+st.ID)
+	if err != nil {
+		return fmt.Errorf("job %s did not survive the crash: %w", st.ID, err)
+	}
+	var rec server.JobStatus
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return err
+	}
+	if !rec.Recovered {
+		return fmt.Errorf("job %s survived but is not marked recovered: %s", st.ID, body)
+	}
+	final, err := c2.waitTerminal(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != server.StateSucceeded {
+		return fmt.Errorf("recovered job %s ended %s: %s", st.ID, final.State, final.Error)
+	}
+	got, err := c2.get(ctx, "/v1/jobs/"+st.ID+"/result")
+	if err != nil {
+		return err
+	}
+
+	// Identity through the crash: the recovered artifact equals a local
+	// serial run of the same spec and the checked-in golden, exactly.
+	serial := smokeSpec()
+	local, err := server.Execute(ctx, serial, serial.Workload, nil)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, local) {
+		return fmt.Errorf("recovered artifact differs from local serial run (%d vs %d bytes)", len(got), len(local))
+	}
+	golden, err := report.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `sramload -smoke -update` to create it)", err)
+	}
+	gotArt, err := report.Decode(got)
+	if err != nil {
+		return err
+	}
+	if diff := report.Compare(golden, gotArt, report.Bands{}); !diff.OK() {
+		t := diff.Table(fmt.Sprintf("crash-smoke [DRIFT] vs %s", goldenPath), false)
+		t.Render(os.Stderr)
+		return fmt.Errorf("recovered artifact drifted from %s", goldenPath)
+	}
+	log.Printf("identity verified: recovered artifact == local serial == %s (%d bytes)", goldenPath, len(got))
+
+	// Recovery must be visible in the metrics: the job was replayed and
+	// resumed from a checkpoint rather than restarted from access zero.
+	metrics, err := c2.get(ctx, "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"sramd_recovered_jobs_total 1",
+		"sramd_checkpoints_restored_total 1",
+		"sramd_journal_bytes",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics missing %q after recovery", want)
+		}
+	}
+
+	if err := d2.stopGracefully(); err != nil {
+		return fmt.Errorf("graceful shutdown of the recovered daemon: %w", err)
+	}
+	fmt.Printf("crash-smoke ok — job survived kill -9, resumed from checkpoint, artifact matches %s\n", goldenPath)
+	return nil
+}
+
 // loadEntry is one appended record of service throughput in the
 // BENCH_core.json ledger (heterogeneous entries; see regress.AppendLedger).
 type loadEntry struct {
@@ -575,6 +755,34 @@ func (c *client) checkHealth(ctx context.Context) error {
 		}
 	}
 	return fmt.Errorf("daemon never became healthy: %w", lastErr)
+}
+
+// submit POSTs spec and returns the 202 status without waiting for the job
+// to finish — the crash smoke needs the job id while the job is mid-run.
+func (c *client) submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	specBytes, err := spec.Canonical()
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(specBytes))
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return server.JobStatus{}, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return server.JobStatus{}, err
+	}
+	return st, nil
 }
 
 // runJob submits spec, waits for the terminal state via the SSE event

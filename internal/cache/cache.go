@@ -79,9 +79,13 @@ type Cache struct {
 	geom     Geometry
 	sets     [][]Line
 	policies []policy
-	backing  *mem.Memory
-	stats    Stats
-	noAlloc  bool
+	// rand is the RNG shared by every set's Random replacement policy
+	// (unused by the deterministic policies). Retained so checkpointing can
+	// capture and restore its state.
+	rand    *rng.Xoshiro256
+	backing *mem.Memory
+	stats   Stats
+	noAlloc bool
 }
 
 // New builds a cache over backing memory.
@@ -98,6 +102,7 @@ func New(cfg Config, backing *mem.Memory) (*Cache, error) {
 		geom:     geom,
 		sets:     make([][]Line, geom.Sets),
 		policies: make([]policy, geom.Sets),
+		rand:     r,
 		backing:  backing,
 		noAlloc:  cfg.NoWriteAllocate,
 	}
@@ -118,6 +123,27 @@ func (c *Cache) Geometry() Geometry { return c.geom }
 
 // Stats returns a copy of the functional event counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// RestoreStats replaces the functional event counters, for checkpoint
+// restore.
+func (c *Cache) RestoreStats(s Stats) { c.stats = s }
+
+// PolicyState returns set s's replacement state as an opaque word slice
+// (empty for stateless policies). Paired with RestorePolicyState.
+func (c *Cache) PolicyState(s int) []uint32 { return c.policies[s].state() }
+
+// RestorePolicyState replaces set s's replacement state with one captured by
+// PolicyState on a cache of the same configuration.
+func (c *Cache) RestorePolicyState(s int, st []uint32) error {
+	return c.policies[s].restore(st)
+}
+
+// RNGState returns the state of the RNG shared by the Random replacement
+// policy. Paired with RestoreRNGState.
+func (c *Cache) RNGState() [4]uint64 { return c.rand.State() }
+
+// RestoreRNGState replaces the shared replacement RNG's state.
+func (c *Cache) RestoreRNGState(s [4]uint64) { c.rand.Restore(s) }
 
 // Backing returns the cache's backing memory.
 func (c *Cache) Backing() *mem.Memory { return c.backing }

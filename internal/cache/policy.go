@@ -60,6 +60,12 @@ type policy interface {
 	Insert(way int)
 	// Victim picks the way to evict.
 	Victim() int
+	// state returns the per-set replacement state as an opaque word slice
+	// (empty when the policy keeps none), for checkpoint serialization.
+	state() []uint32
+	// restore replaces the state with one captured by state, validating
+	// shape and invariants so a corrupt checkpoint fails closed.
+	restore(st []uint32) error
 }
 
 func newPolicy(kind PolicyKind, ways int, r *rng.Xoshiro256) policy {
@@ -104,6 +110,17 @@ func (s *lruState) Touch(way int)  { s.moveToFront(way) }
 func (s *lruState) Insert(way int) { s.moveToFront(way) }
 func (s *lruState) Victim() int    { return s.order[len(s.order)-1] }
 
+func (s *lruState) state() []uint32 { return waysToWords(s.order) }
+
+func (s *lruState) restore(st []uint32) error {
+	order, err := wordsToPerm(st, len(s.order))
+	if err != nil {
+		return fmt.Errorf("cache: LRU state: %w", err)
+	}
+	s.order = order
+	return nil
+}
+
 // fifoState evicts in fill order; hits do not refresh position.
 type fifoState struct {
 	queue []int
@@ -131,6 +148,17 @@ func (s *fifoState) Insert(way int) {
 
 func (s *fifoState) Victim() int { return s.queue[0] }
 
+func (s *fifoState) state() []uint32 { return waysToWords(s.queue) }
+
+func (s *fifoState) restore(st []uint32) error {
+	queue, err := wordsToPerm(st, len(s.queue))
+	if err != nil {
+		return fmt.Errorf("cache: FIFO state: %w", err)
+	}
+	s.queue = queue
+	return nil
+}
+
 type randomState struct {
 	ways int
 	r    *rng.Xoshiro256
@@ -139,6 +167,17 @@ type randomState struct {
 func (s *randomState) Touch(int)   {}
 func (s *randomState) Insert(int)  {}
 func (s *randomState) Victim() int { return s.r.Intn(s.ways) }
+
+// Random keeps no per-set state; the shared RNG is checkpointed once via
+// Cache.RNGState.
+func (s *randomState) state() []uint32 { return nil }
+
+func (s *randomState) restore(st []uint32) error {
+	if len(st) != 0 {
+		return fmt.Errorf("cache: Random state: want 0 words, got %d", len(st))
+	}
+	return nil
+}
 
 // plruState is a binary-tree pseudo-LRU: one bit per internal node pointing
 // toward the colder half. Requires power-of-two ways (guaranteed by Geometry).
@@ -188,4 +227,55 @@ func (s *plruState) Victim() int {
 		}
 	}
 	return lo
+}
+
+func (s *plruState) state() []uint32 {
+	st := make([]uint32, len(s.bits))
+	for i, b := range s.bits {
+		if b {
+			st[i] = 1
+		}
+	}
+	return st
+}
+
+func (s *plruState) restore(st []uint32) error {
+	if len(st) != len(s.bits) {
+		return fmt.Errorf("cache: PLRU state: want %d words, got %d", len(s.bits), len(st))
+	}
+	for i, w := range st {
+		if w > 1 {
+			return fmt.Errorf("cache: PLRU state: word %d is %d, want 0 or 1", i, w)
+		}
+		s.bits[i] = w == 1
+	}
+	return nil
+}
+
+// waysToWords widens a way-index slice for the opaque state encoding.
+func waysToWords(ws []int) []uint32 {
+	out := make([]uint32, len(ws))
+	for i, w := range ws {
+		out[i] = uint32(w)
+	}
+	return out
+}
+
+// wordsToPerm narrows words back to way indices, requiring an exact
+// permutation of [0, ways) — the invariant both LRU order and FIFO queue
+// maintain.
+func wordsToPerm(st []uint32, ways int) ([]int, error) {
+	if len(st) != ways {
+		return nil, fmt.Errorf("want %d words, got %d", ways, len(st))
+	}
+	out := make([]int, ways)
+	seen := make([]bool, ways)
+	for i, w := range st {
+		if int(w) >= ways || seen[w] {
+			return nil, fmt.Errorf("words are not a permutation of [0,%d)", ways)
+		}
+		seen[w] = true
+		out[i] = int(w)
+	}
+	return out, nil
 }

@@ -8,7 +8,10 @@
 // fixed-size chunks, with unbacked bytes reading as zero.
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // ChunkSize is the granularity of backing allocation, in bytes.
 const ChunkSize = 64
@@ -101,6 +104,18 @@ func (m *Memory) WouldBeSilent(addr uint64, size uint8, data uint64) bool {
 		mask = 1<<(8*size) - 1
 	}
 	return m.ReadWord(addr, size) == data&mask
+}
+
+// Bases returns the base address of every backed chunk in ascending order.
+// Checkpoint serialization needs a deterministic iteration order; map range
+// order would make snapshot bytes differ between identical states.
+func (m *Memory) Bases() []uint64 {
+	bases := make([]uint64, 0, len(m.chunks))
+	for base := range m.chunks {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
 }
 
 // FootprintBytes returns the number of backed bytes.

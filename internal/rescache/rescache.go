@@ -132,6 +132,11 @@ func Open(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// HasDisk reports whether the cache has a persistent disk tier — the
+// property sramd's job journal requires, since specs and checkpoints must
+// survive a process kill.
+func (c *Cache) HasDisk() bool { return c.disk != nil }
+
 // Get returns the blob stored under key and the tier that served it. Disk
 // hits are promoted into the memory tier. Callers must not mutate the
 // returned bytes. Only hits are counted; Do accounts for misses.

@@ -54,6 +54,18 @@ func New(seed uint64) *Xoshiro256 {
 	return &x
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (x *Xoshiro256) State() [4]uint64 { return x.s }
+
+// Restore replaces the internal state with one captured by State. An all-zero
+// state would be absorbing, so it is rejected with the same guard New uses.
+func (x *Xoshiro256) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	x.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64-bit value.

@@ -67,6 +67,7 @@ type Job struct {
 	errText   string
 	artifact  []byte // canonical artifact bytes, set on success
 	cached    bool   // artifact served from the result cache, not computed
+	recovered bool   // job replayed from the journal after a restart
 	notifyCh  chan struct{}
 	submitted time.Time
 	started   time.Time
@@ -149,6 +150,22 @@ func (j *Job) markCached() {
 	j.mu.Unlock()
 }
 
+// markRecovered flags the job as replayed from the journal after a restart,
+// surfaced as `"recovered": true` in status and as the SSE "recovered"
+// event. Set during recovery, before the job is reachable from handlers.
+func (j *Job) markRecovered() {
+	j.mu.Lock()
+	j.recovered = true
+	j.mu.Unlock()
+}
+
+// IsRecovered reports whether the job was replayed from the journal.
+func (j *Job) IsRecovered() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
 // Artifact returns the canonical artifact bytes (nil unless succeeded).
 func (j *Job) Artifact() []byte {
 	j.mu.Lock()
@@ -176,8 +193,10 @@ type JobStatus struct {
 	BytesIngested int64  `json:"bytes_ingested,omitempty"`
 	// Cached marks an artifact served from the result cache rather than
 	// simulated; the bytes are identical either way.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Recovered marks a job replayed from the journal after a daemon restart.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// SubmittedUnixMS stamps submission; QueueMS and RunMS split the job's
 	// life between waiting and executing (running jobs report RunMS so far).
 	SubmittedUnixMS int64   `json:"submitted_unix_ms"`
@@ -198,6 +217,7 @@ func (j *Job) Status() JobStatus {
 		Accesses:        j.accesses.Load(),
 		BytesIngested:   j.bytesIngested,
 		Cached:          j.cached,
+		Recovered:       j.recovered,
 		Error:           j.errText,
 		SubmittedUnixMS: j.submitted.UnixMilli(),
 	}

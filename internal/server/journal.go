@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job journal makes the job table survive a process kill: every state
+// transition (queued → running → succeeded|failed|cancelled) is appended as
+// one JSON line and fsynced before the transition is acknowledged. Specs are
+// not duplicated into the journal — they live in the rescache CAS under
+// "spec:<config-hash>", so a journal record carries only the hash. On open
+// the journal is replayed (longest valid prefix: a torn final write or
+// corrupt tail drops silently, pinned by FuzzJournal) and compacted to one
+// record per job via the same temp-file→fsync→rename idiom the disk CAS
+// uses, so the file stays bounded by the job table, not by job churn.
+
+// journalVersion is the record schema version; decodeJournal rejects
+// records from other versions rather than guessing at their fields.
+const journalVersion = 1
+
+// journalFile is the journal's file name inside Config.JournalDir.
+const journalFile = "journal.log"
+
+// journalRecord is one JSON line of the journal. A submission writes a full
+// record (spec key, source, trace spool path); later transitions write only
+// the job id, the new state, and terminal provenance — replay merges them.
+type journalRecord struct {
+	V     int    `json:"v"`
+	Job   string `json:"job"`
+	State State  `json:"state"`
+	// SpecKey is the job's config hash; the canonical spec bytes live in
+	// the result cache under "spec:<SpecKey>", and a succeeded artifact
+	// under "<SpecKey>" itself.
+	SpecKey    string `json:"spec_key,omitempty"`
+	Source     string `json:"source,omitempty"`
+	TracePath  string `json:"trace_path,omitempty"`
+	TraceBytes int64  `json:"trace_bytes,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
+	Accesses   uint64 `json:"accesses,omitempty"`
+	Error      string `json:"error,omitempty"`
+	UnixMS     int64  `json:"unix_ms,omitempty"`
+}
+
+// valid reports whether a decoded record is structurally usable.
+func (r journalRecord) valid() bool {
+	if r.V != journalVersion || r.Job == "" {
+		return false
+	}
+	switch r.State {
+	case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCancelled:
+		return true
+	default:
+		return false
+	}
+}
+
+// decodeJournal parses data into the longest valid prefix of records. The
+// first malformed line — torn tail from a kill mid-append, corruption,
+// interleaved garbage — ends the replay; everything before it is kept,
+// everything after is dropped. It never panics on any input (FuzzJournal).
+func decodeJournal(data []byte) []journalRecord {
+	var out []journalRecord
+	for len(data) > 0 {
+		line := data
+		if i := indexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			// No trailing newline: the final append was torn. Drop it.
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || !rec.valid() {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// indexByte is bytes.IndexByte without pulling the import into the hot list
+// above it. (Kept trivial; the journal is not a hot path.)
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// compactRecords merges a replayed record sequence into one record per job,
+// in first-seen (submission) order. State transitions apply in record order
+// with one guard: terminal states are sticky, so a late-arriving "queued"
+// record (submit and first-run records can land out of order around a very
+// fast job) can never resurrect a finished job.
+func compactRecords(recs []journalRecord) []journalRecord {
+	byJob := map[string]*journalRecord{}
+	var order []string
+	for _, rec := range recs {
+		cur := byJob[rec.Job]
+		if cur == nil {
+			r := rec
+			byJob[rec.Job] = &r
+			order = append(order, rec.Job)
+			continue
+		}
+		if rec.SpecKey != "" {
+			cur.SpecKey = rec.SpecKey
+		}
+		if rec.Source != "" {
+			cur.Source = rec.Source
+		}
+		if rec.TracePath != "" {
+			cur.TracePath = rec.TracePath
+		}
+		if rec.TraceBytes != 0 {
+			cur.TraceBytes = rec.TraceBytes
+		}
+		if rec.UnixMS != 0 && cur.UnixMS == 0 {
+			cur.UnixMS = rec.UnixMS
+		}
+		if cur.State.Terminal() {
+			continue
+		}
+		cur.State = rec.State
+		cur.Cached = cur.Cached || rec.Cached
+		if rec.Accesses != 0 {
+			cur.Accesses = rec.Accesses
+		}
+		if rec.Error != "" {
+			cur.Error = rec.Error
+		}
+	}
+	out := make([]journalRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byJob[id])
+	}
+	return out
+}
+
+// Journal is the crash-safe append log. Appends fsync before returning, so
+// an acknowledged transition survives kill -9; Open compacts on every start.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	bytes int64
+	// frozen (tests only) silently drops appends — the hook crash tests use
+	// to simulate a kill between an in-memory transition and its record.
+	frozen bool
+}
+
+// OpenJournal opens (creating if needed) the journal in dir, replays it,
+// compacts it in place, and returns the merged per-job records in
+// submission order.
+func OpenJournal(dir string) (*Journal, []journalRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	recs := compactRecords(decodeJournal(data))
+	var buf []byte
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := writeFileAtomic(path, buf); err != nil {
+		return nil, nil, fmt.Errorf("journal: compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{path: path, f: f, bytes: int64(len(buf))}, recs, nil
+}
+
+// Append writes one record and fsyncs. The record is durable when Append
+// returns nil.
+func (j *Journal) Append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.bytes += int64(len(line))
+	return nil
+}
+
+// Bytes returns the journal file's current size, for /metrics.
+func (j *Journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// Close releases the append handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// freeze (tests only) makes every later Append a silent no-op, simulating a
+// crash that loses transitions written after this point.
+func (j *Journal) freeze() {
+	j.mu.Lock()
+	j.frozen = true
+	j.mu.Unlock()
+}
+
+// writeFileAtomic is the crash-safe write: temp file in the same directory,
+// write, fsync, rename over the target, fsync the directory — the same
+// idiom internal/rescache/disk.go uses for CAS blobs.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "tmp-journal-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

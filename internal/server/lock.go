@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// lockFile is the advisory daemon lock's file name inside a locked dir.
+const lockFile = "sramd.lock"
+
+// AcquireDirLock claims dir for this process: it verifies the directory is
+// writable (creating it if needed) and takes an advisory pid lock, so a
+// daemon pointed at a read-only path or at another live daemon's journal
+// fails fast at startup with a clear error instead of corrupting shared
+// state or dying mid-job. A lock left behind by a kill -9 (its pid no
+// longer runs) is detected as stale and taken over — that is exactly the
+// crash-recovery path. The returned release removes the lock; call it on
+// clean shutdown only, so a crashed daemon's successor sees the stale lock
+// and recovers.
+func AcquireDirLock(dir string) (release func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("directory %s is not usable: %w", dir, err)
+	}
+	// Writability probe: MkdirAll succeeds on an existing read-only
+	// directory, so prove write access with a real file.
+	probe, err := os.CreateTemp(dir, "sramd-probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+
+	path := filepath.Join(dir, lockFile)
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("cannot lock %s: %w", dir, err)
+		}
+		pid, perr := readLockPid(path)
+		if perr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf("directory %s is locked by running sramd pid %d; stop it or use a different directory", dir, pid)
+		}
+		if attempt > 0 {
+			// The stale lock was removed and reappeared: a concurrent starter
+			// won the O_EXCL race. Treat it as live rather than looping.
+			return nil, fmt.Errorf("directory %s is locked by another starting sramd", dir)
+		}
+		// Stale lock (unreadable, or its pid is gone): the previous daemon
+		// crashed. Remove it and retry the exclusive create once.
+		os.Remove(path)
+	}
+}
+
+// readLockPid parses the pid a lock file records.
+func readLockPid(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// pidAlive reports whether pid names a running process, via the portable
+// signal-0 probe. EPERM means the process exists but belongs to another
+// user — alive for locking purposes.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || err == syscall.EPERM
+}

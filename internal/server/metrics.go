@@ -28,6 +28,10 @@ type serverMetrics struct {
 	bytesIn   atomic.Int64 // trace bytes spooled from uploads
 	busyNanos atomic.Int64 // summed job run time, for accesses/sec
 
+	recovered    atomic.Int64 // jobs replayed from the journal at startup
+	ckptWritten  atomic.Int64 // controller checkpoints persisted to the CAS
+	ckptRestored atomic.Int64 // jobs resumed from a checkpoint (vs restarted)
+
 	mu     sync.Mutex
 	byKind map[string]*latencyHist
 }
@@ -74,10 +78,19 @@ func (m *serverMetrics) observe(kind string, seconds float64, accesses uint64, s
 	m.mu.Unlock()
 }
 
+// journalStats is the durability snapshot render emits when the daemon runs
+// with a job journal (nil otherwise — the sramd_journal_* and recovery
+// series are then absent).
+type journalStats struct {
+	// Bytes is the journal file's current size.
+	Bytes int64
+}
+
 // render writes the Prometheus text exposition. queueDepth and queueCap come
 // from the server's live channel state; cache is the result cache snapshot
-// (nil when caching is disabled — the rescache_* series are then absent).
-func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting bool, cache *rescache.Snapshot) {
+// (nil when caching is disabled — the rescache_* series are then absent);
+// journal is the durability snapshot (nil when journaling is disabled).
+func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting bool, cache *rescache.Snapshot, journal *journalStats) {
 	up := 0
 	if accepting {
 		up = 1
@@ -106,6 +119,17 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, accepting 
 		fmt.Fprintf(w, "# HELP sramd_accesses_per_second Simulated accesses per busy second across terminal jobs.\n")
 		fmt.Fprintf(w, "# TYPE sramd_accesses_per_second gauge\nsramd_accesses_per_second %g\n",
 			float64(m.accesses.Load())/busy)
+	}
+
+	if journal != nil {
+		fmt.Fprintf(w, "# HELP sramd_recovered_jobs_total Jobs replayed from the journal at startup.\n")
+		fmt.Fprintf(w, "# TYPE sramd_recovered_jobs_total counter\nsramd_recovered_jobs_total %d\n", m.recovered.Load())
+		fmt.Fprintf(w, "# HELP sramd_checkpoints_written_total Controller checkpoints persisted to the result cache.\n")
+		fmt.Fprintf(w, "# TYPE sramd_checkpoints_written_total counter\nsramd_checkpoints_written_total %d\n", m.ckptWritten.Load())
+		fmt.Fprintf(w, "# HELP sramd_checkpoints_restored_total Recovered jobs resumed from a checkpoint instead of restarting.\n")
+		fmt.Fprintf(w, "# TYPE sramd_checkpoints_restored_total counter\nsramd_checkpoints_restored_total %d\n", m.ckptRestored.Load())
+		fmt.Fprintf(w, "# HELP sramd_journal_bytes Current size of the job journal file.\n")
+		fmt.Fprintf(w, "# TYPE sramd_journal_bytes gauge\nsramd_journal_bytes %d\n", journal.Bytes)
 	}
 
 	if cache != nil {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"cache8t/internal/core"
@@ -47,6 +48,62 @@ func RunSpec(ctx context.Context, spec JobSpec, open func() (trace.Stream, error
 		s = wrap(s)
 	}
 	return core.RunShardedContext(ctx, kind, cfg, spec.CoreOptions(), s, spec.N, spec.Batch, spec.Shards)
+}
+
+// RunSpecDurable executes a validated spec with checkpointing: sink receives
+// a serialized controller snapshot every `every` batches, and resumeBlob,
+// when non-nil, restarts the run from a previously written snapshot instead
+// of access zero. resumed reports whether the checkpoint was actually used —
+// an unreadable or mismatched blob (core.ErrBadCheckpoint) falls back to a
+// straight run from a freshly opened stream, since checkpoints are an
+// optimization and the determinism contract makes the two byte-identical.
+// Any other resume error is a genuine run failure and propagates.
+//
+// Checkpointing rides the serial streaming driver, so this path ignores
+// spec.Shards; callers gate on Shards <= 1.
+func RunSpecDurable(ctx context.Context, spec JobSpec, open func() (trace.Stream, error), wrap func(trace.Stream) trace.Stream, resumeBlob []byte, every int, sink core.CheckpointSink) (res core.Result, resumed bool, err error) {
+	kind, err := core.ParseKind(spec.Controller)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	cfg, err := spec.CacheConfig()
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	if open == nil {
+		open = OpenSource(spec)
+	}
+	openWrapped := func() (trace.Stream, error) {
+		s, err := open()
+		if err != nil {
+			return nil, err
+		}
+		if wrap != nil {
+			s = wrap(s)
+		}
+		return s, nil
+	}
+	if resumeBlob != nil {
+		s, err := openWrapped()
+		if err != nil {
+			return core.Result{}, false, err
+		}
+		res, err := core.ResumeStreamContext(ctx, resumeBlob, s, spec.N, spec.Batch, every, sink)
+		if err == nil {
+			return res, true, nil
+		}
+		if !errors.Is(err, core.ErrBadCheckpoint) {
+			return core.Result{}, false, err
+		}
+		// Fall through: the blob does not describe this run (corrupt, wrong
+		// version, wrong geometry). Restart from scratch on a fresh stream.
+	}
+	s, err := openWrapped()
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	res, err = core.RunStreamCheckpointedContext(ctx, kind, cfg, spec.CoreOptions(), s, spec.N, spec.Batch, every, sink)
+	return res, false, err
 }
 
 // ConfigMap flattens the result-shaping knobs of a spec into the artifact's

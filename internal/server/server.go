@@ -56,6 +56,18 @@ type Config struct {
 	// through one engine execution. nil disables caching entirely. The
 	// server does not own the cache — the caller closes it after Shutdown.
 	Cache *rescache.Cache
+	// JournalDir, when set, makes jobs durable: every state transition is
+	// fsynced to an append-only journal there, specs are pinned into the
+	// result cache, and New replays the journal — re-registering terminal
+	// jobs and re-enqueueing unfinished ones — so the job table survives a
+	// kill -9. Requires Cache with a disk tier (New errors otherwise).
+	JournalDir string
+	// CheckpointEvery, when positive and journaling is on, snapshots each
+	// serial job's full controller state into the result cache every that
+	// many batches; a recovered running job resumes from its latest snapshot
+	// instead of re-simulating from access zero. DESIGN.md §12 documents the
+	// blob format and the byte-identity guarantee.
+	CheckpointEvery int
 
 	// testWrapStream, when set (package tests only), interposes on every
 	// job's stream after the progress counter — the hook tests use to gate a
@@ -91,10 +103,11 @@ type Server struct {
 	// Version is the build identifier /healthz reports.
 	Version string
 
-	eng   *engine.Engine[[]byte]
-	met   *serverMetrics
-	cache *rescache.Cache
-	queue chan *Job
+	eng     *engine.Engine[[]byte]
+	met     *serverMetrics
+	cache   *rescache.Cache
+	journal *Journal
+	queue   chan *Job
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -110,8 +123,12 @@ type Server struct {
 	nextID uint64
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays the job journal when one is configured, and
+// starts the worker pool. It errors when JournalDir is set without a result
+// cache with a disk tier — the journal stores specs, checkpoints, and
+// artifacts in the CAS, so durability without persistence is a misconfig,
+// not something to degrade silently.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -124,12 +141,110 @@ func New(cfg Config) *Server {
 		jobs:    map[string]*Job{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	var pending []*Job
+	if cfg.JournalDir != "" {
+		if cfg.Cache == nil || !cfg.Cache.HasDisk() {
+			return nil, errors.New("server: JournalDir requires a result cache with a disk tier")
+		}
+		journal, recs, err := OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		pending = s.recoverJobs(recs)
+	}
+
 	s.accepting.Store(true)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	// Re-enqueue unfinished recovered jobs in journal (submission) order.
+	// Done from a goroutine so recovery never deadlocks on a queue smaller
+	// than the backlog — workers are live and drain it.
+	if len(pending) > 0 {
+		go func() {
+			for _, j := range pending {
+				select {
+				case s.queue <- j:
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// recoverJobs rebuilds the job table from the compacted journal: terminal
+// jobs are re-registered as-is (artifact refetched lazily from the cache),
+// queued and running jobs are returned for re-enqueueing, and unfinished
+// jobs whose spec or spooled trace did not survive the crash fail with an
+// explicit error rather than vanishing. Runs before the worker pool starts,
+// so no lock ordering applies yet.
+func (s *Server) recoverJobs(recs []journalRecord) []*Job {
+	var pending []*Job
+	for _, rec := range recs {
+		var n uint64
+		if _, err := fmt.Sscanf(rec.Job, "j-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		var spec JobSpec
+		specOK := false
+		if rec.SpecKey != "" {
+			if blob, _, ok := s.cache.Get("spec:" + rec.SpecKey); ok {
+				if dec, err := DecodeSpec(blob); err == nil {
+					spec, specOK = dec, true
+				}
+			}
+		}
+		j := newJob(s.baseCtx, rec.Job, spec, rec.Source, rec.SpecKey)
+		j.markRecovered()
+		if rec.UnixMS != 0 {
+			j.submitted = time.UnixMilli(rec.UnixMS)
+		}
+		j.tracePath = rec.TracePath
+		j.bytesIngested = rec.TraceBytes
+		s.met.recovered.Add(1)
+
+		switch {
+		case rec.State.Terminal():
+			// Reinstate the terminal state directly: no WaitGroup, no metrics
+			// re-observation (counters are per-process), context released.
+			j.state = rec.State
+			j.errText = rec.Error
+			j.cached = rec.Cached
+			j.accesses.Store(rec.Accesses)
+			j.cancel()
+		case !specOK:
+			j.state = StateFailed
+			j.errText = "cannot recover job: spec missing from the result cache"
+			j.cancel()
+			s.journalState(j, StateFailed, j.errText)
+		case rec.TracePath != "" && !fileExists(rec.TracePath):
+			j.state = StateFailed
+			j.errText = "cannot recover job: spooled trace no longer exists"
+			j.cancel()
+			s.journalState(j, StateFailed, j.errText)
+		default:
+			// Unfinished job with its inputs intact: back to the queue. A job
+			// that was running re-runs, resuming from its latest checkpoint
+			// when one survives (see execute).
+			j.state = StateQueued
+			s.jobWG.Add(1)
+			pending = append(pending, j)
+		}
+		s.jobs[rec.Job] = j
+		s.order = append(s.order, rec.Job)
+	}
+	return pending
+}
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // Shutdown drains the server: new submissions are refused immediately,
@@ -157,7 +272,54 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.workers.Wait()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 	return err
+}
+
+// journalSubmit makes an accepted job durable: the canonical spec bytes go
+// into the CAS under "spec:<hash>" (so recovery can rebuild the job), then
+// the queued record is fsynced. Runtime journal errors are deliberately
+// swallowed — the job still runs this process; durability degrades, service
+// does not.
+func (s *Server) journalSubmit(j *Job) {
+	if s.journal == nil {
+		return
+	}
+	if b, err := j.Spec.Canonical(); err == nil {
+		s.cache.Put("spec:"+j.ConfigHash, b)
+	}
+	s.journal.Append(journalRecord{
+		V:          journalVersion,
+		Job:        j.ID,
+		State:      StateQueued,
+		SpecKey:    j.ConfigHash,
+		Source:     j.Source,
+		TracePath:  j.tracePath,
+		TraceBytes: j.bytesIngested,
+		UnixMS:     time.Now().UnixMilli(),
+	})
+}
+
+// journalState fsyncs one state transition for a journaled job.
+func (s *Server) journalState(j *Job, state State, errText string) {
+	if s.journal == nil {
+		return
+	}
+	rec := journalRecord{
+		V:        journalVersion,
+		Job:      j.ID,
+		State:    state,
+		Accesses: j.accesses.Load(),
+		Error:    errText,
+	}
+	if state.Terminal() {
+		j.mu.Lock()
+		rec.Cached = j.cached
+		j.mu.Unlock()
+	}
+	s.journal.Append(rec)
 }
 
 // worker executes queued jobs until the server stops.
@@ -179,6 +341,7 @@ func (s *Server) runJob(j *Job) {
 	if !j.start() {
 		return // cancelled while queued; finishJob already ran
 	}
+	s.journalState(j, StateRunning, "")
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
@@ -254,6 +417,33 @@ func (s *Server) execute(ctx context.Context, j *Job) (*report.Artifact, error) 
 		}
 		return out
 	}
+	// Checkpointing rides the serial streaming driver, so sharded jobs (and
+	// servers without a journal) take the plain path. A recovered job looks
+	// for its latest snapshot under "ckpt:<job-id>" — job ids survive
+	// restarts, so the key does too — and resumes mid-trace when the blob is
+	// intact; otherwise it re-simulates from access zero, which the
+	// determinism contract makes byte-identical.
+	if s.journal != nil && s.cfg.CheckpointEvery > 0 && j.Spec.Shards <= 1 {
+		var resumeBlob []byte
+		if j.IsRecovered() {
+			if blob, _, ok := s.cache.Get("ckpt:" + j.ID); ok {
+				resumeBlob = blob
+			}
+		}
+		sink := func(blob []byte, accesses uint64) error {
+			s.cache.Put("ckpt:"+j.ID, blob)
+			s.met.ckptWritten.Add(1)
+			return nil
+		}
+		res, resumed, err := RunSpecDurable(ctx, j.Spec, open, wrap, resumeBlob, s.cfg.CheckpointEvery, sink)
+		if err != nil {
+			return nil, err
+		}
+		if resumed {
+			s.met.ckptRestored.Add(1)
+		}
+		return Artifact(j.Spec, j.Source, res), nil
+	}
 	res, err := RunSpec(ctx, j.Spec, open, wrap)
 	if err != nil {
 		return nil, err
@@ -267,6 +457,7 @@ func (s *Server) finishJob(j *Job, state State, errText string, artifact []byte)
 	if !j.finish(state, errText, artifact) {
 		return
 	}
+	s.journalState(j, state, errText)
 	st := j.Status()
 	s.met.observe(j.Spec.Controller, st.RunMS/1e3, st.Accesses, state)
 	if j.tracePath != "" {
@@ -378,6 +569,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 			s.met.submitted.Add(1)
 			s.met.bytesIn.Add(traceBytes)
+			s.journalSubmit(j)
 			s.finishJob(j, StateSucceeded, "", blob)
 			w.Header().Set("Location", "/v1/jobs/"+id)
 			writeJSON(w, http.StatusAccepted, j.Status())
@@ -412,6 +604,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.met.submitted.Add(1)
 		s.met.bytesIn.Add(traceBytes)
+		s.journalSubmit(j)
 		w.Header().Set("Location", "/v1/jobs/"+id)
 		writeJSON(w, http.StatusAccepted, j.Status())
 	default:
@@ -572,8 +765,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	st := j.Status()
 	switch st.State {
 	case StateSucceeded:
+		blob := j.Artifact()
+		if blob == nil && s.cache != nil {
+			// A recovered succeeded job carries no artifact bytes in memory;
+			// refetch them from the cache by config hash. 410 (not 500) when
+			// the CAS evicted them: the job genuinely succeeded, the bytes
+			// are genuinely gone, and resubmitting recomputes them.
+			blob, _, _ = s.cache.Get(j.ConfigHash)
+		}
+		if blob == nil {
+			writeJSON(w, http.StatusGone, apiError{
+				Error: fmt.Sprintf("job %s succeeded but its artifact is no longer cached; resubmit to recompute", j.ID),
+				State: st.State})
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(j.Artifact())
+		w.Write(blob)
 	case StateFailed, StateCancelled:
 		writeJSON(w, http.StatusConflict, apiError{
 			Error: fmt.Sprintf("job %s is %s: %s", j.ID, st.State, st.Error), State: st.State})
@@ -615,6 +822,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// A re-subscribing watcher that lost its connection to a daemon restart
+	// learns it is looking at a replayed job before the status stream
+	// begins.
+	if j.IsRecovered() {
+		if b, err := json.Marshal(j.Status()); err == nil {
+			fmt.Fprintf(w, "event: recovered\ndata: %s\n\n", b)
+			fl.Flush()
+		}
+	}
 	for {
 		// Grab the notify channel before snapshotting: an update landing
 		// between the two re-closes a channel we already hold, so nothing is
@@ -666,5 +882,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		v := s.cache.Snapshot()
 		snap = &v
 	}
-	s.met.render(w, len(s.queue), cap(s.queue), s.accepting.Load(), snap)
+	var jstats *journalStats
+	if s.journal != nil {
+		jstats = &journalStats{Bytes: s.journal.Bytes()}
+	}
+	s.met.render(w, len(s.queue), cap(s.queue), s.accepting.Load(), snap, jstats)
 }

@@ -81,7 +81,10 @@ type testServer struct {
 
 func newTestServer(t *testing.T, cfg Config) *testServer {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	ts := &testServer{t: t, srv: srv, hs: hs}
 	t.Cleanup(func() {

@@ -134,6 +134,16 @@ func (a *Array) Count(e Event) uint64 { return a.counts[e] }
 // Reset zeroes all counters.
 func (a *Array) Reset() { a.counts = [numEvents]uint64{} }
 
+// Counts returns a copy of the event ledger indexed by Event, for
+// checkpoint serialization.
+func (a *Array) Counts() [numEvents]uint64 { return a.counts }
+
+// RestoreCounts replaces the event ledger with one captured by Counts.
+func (a *Array) RestoreCounts(counts [numEvents]uint64) { a.counts = counts }
+
+// NumEvents is the length of the ledger returned by Counts.
+const NumEvents = numEvents
+
 // AddCounts accumulates other's event counts into a. It is the ledger-merge
 // primitive behind set-sharded simulation: per-shard arrays of the same
 // configuration sum into the exact event mix a serial run would have
