@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke crash-smoke ci
+.PHONY: build test vet race bench bench-core bench-shard check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke crash-smoke coord-smoke ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzJobSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
 	$(GO) test -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) -run='^$$' ./internal/server
 	$(GO) test -fuzz=FuzzDisk -fuzztime=$(FUZZTIME) -run='^$$' ./internal/rescache
+	$(GO) test -fuzz=FuzzSweepSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/coord
 
 # End-to-end service gate: build sramd, start it on an ephemeral port,
 # submit the pinned golden workload over HTTP, verify the returned artifact
@@ -100,4 +101,13 @@ crash-smoke:
 		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
 		$(GO) run ./cmd/sramload -crash-smoke -sramd "$$tmp/sramd" -journal-dir "$$tmp/journal"
 
-ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke crash-smoke fuzz-smoke
+# Distributed-mode chaos gate: 1 coordinator + 3 workers on ephemeral ports,
+# a 12-point sweep embedding the golden workload, kill -9 one worker
+# mid-sweep, and require redispatch, a merged ledger byte-identical to the
+# serial in-process run, and the golden point matching golden/serve.json.
+coord-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -coord-smoke -sramd "$$tmp/sramd"
+
+ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke crash-smoke coord-smoke fuzz-smoke

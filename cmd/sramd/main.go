@@ -16,6 +16,7 @@
 //	sramd -no-cache                        # disable result caching entirely
 //	sramd -journal-dir /var/lib/sramd      # durable jobs: survive a kill -9
 //	sramd -checkpoint-every 4              # denser mid-job checkpoints
+//	sramd -coordinator -peers http://a:8344,http://b:8344   # sweep coordinator
 //	sramd -version
 //
 // Result caching is on by default (memory tier only; add -cache-dir for a
@@ -30,6 +31,17 @@
 // The directory is locked per daemon (stale locks from a crash are taken
 // over; a live twin fails fast). See DESIGN.md §12 and the README
 // "Durability and crash recovery" section.
+//
+// -coordinator runs the distributed front half instead of a worker: the
+// daemon serves the internal/coord sweep API (POST /v1/sweeps), decomposes
+// each sweep into single-point jobs, fans them out over the sramd workers
+// named by -peers (or registered later via POST /v1/workers), and merges the
+// verified per-point artifacts into one canonical ledger. Failed, timed-out,
+// or corrupt dispatches retry with jittered exponential backoff behind
+// per-worker circuit breakers. With -journal-dir the sweep table survives a
+// coordinator kill: unfinished sweeps resume on restart, with
+// already-finished points served from the result cache. See DESIGN.md §13
+// and the README "Distributed mode" section.
 //
 // The daemon prints exactly one line to stdout once it is serving —
 // "sramd listening on http://ADDR" — which is what cmd/sramload's -sramd
@@ -49,9 +61,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"cache8t/internal/coord"
 	"cache8t/internal/report"
 	"cache8t/internal/rescache"
 	"cache8t/internal/server"
@@ -81,6 +95,14 @@ func run() error {
 		journalDir  = flag.String("journal-dir", "", "directory for the durable job journal: jobs survive a daemon kill (default: off)")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "with -journal-dir, checkpoint running jobs every N batches (0 = journal only, no checkpoints)")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
+
+		coordinator  = flag.Bool("coordinator", false, "serve the sweep-coordinator API instead of the worker job API")
+		peers        = flag.String("peers", "", "coordinator: comma-separated sramd worker base URLs (more can join via POST /v1/workers)")
+		dispatch     = flag.Int("dispatch", 0, "coordinator: concurrent point dispatches per sweep (0 = 4)")
+		pointTimeout = flag.Duration("point-timeout", 0, "coordinator: one dispatch attempt's end-to-end deadline (0 = 2m)")
+		pointRetries = flag.Int("point-retries", 0, "coordinator: dispatch attempts per point before the sweep fails (0 = 5)")
+		sweepRate    = flag.Float64("sweep-rate", 0, "coordinator: sweep submissions per second per client (0 = unlimited)")
+		sweepBurst   = flag.Int("sweep-burst", 0, "coordinator: per-client submission burst above -sweep-rate (0 = 4)")
 	)
 	flag.Parse()
 
@@ -135,26 +157,58 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		MaxBodyBytes:    *maxBody,
-		JobTimeout:      *jobTimeout,
-		SpoolDir:        *spool,
-		Cache:           cache,
-		JournalDir:      *journalDir,
-		CheckpointEvery: *ckptEvery,
-	})
-	if err != nil {
-		return err
+	var (
+		handler  http.Handler
+		shutdown func(context.Context) error
+	)
+	if *coordinator {
+		var workerURLs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				workerURLs = append(workerURLs, p)
+			}
+		}
+		c, err := coord.New(coord.Config{
+			Workers:          workerURLs,
+			DispatchParallel: *dispatch,
+			PointTimeout:     *pointTimeout,
+			PointAttempts:    *pointRetries,
+			SweepRate:        *sweepRate,
+			SweepBurst:       *sweepBurst,
+			Cache:            cache,
+			JournalDir:       *journalDir,
+			Version:          report.GitSHA(),
+		})
+		if err != nil {
+			return err
+		}
+		handler = c.Handler()
+		shutdown = c.Shutdown
+		log.Printf("coordinator mode: %d worker(s) registered", len(workerURLs))
+	} else {
+		srv, err := server.New(server.Config{
+			Workers:         *workers,
+			QueueDepth:      *queueDepth,
+			MaxBodyBytes:    *maxBody,
+			JobTimeout:      *jobTimeout,
+			SpoolDir:        *spool,
+			Cache:           cache,
+			JournalDir:      *journalDir,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			return err
+		}
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	// The one stdout line tooling scrapes for the resolved address.
 	fmt.Printf("sramd listening on http://%s\n", ln.Addr())
-	log.Printf("version %s, %s", srv.Version, report.Version("sramd"))
+	log.Printf("%s", report.Version("sramd"))
 	switch {
 	case cache == nil:
 		log.Printf("result cache disabled")
@@ -163,7 +217,10 @@ func run() error {
 	default:
 		log.Printf("result cache: %s", *cacheDir)
 	}
-	if *journalDir != "" {
+	switch {
+	case *journalDir != "" && *coordinator:
+		log.Printf("sweep journal: %s", *journalDir)
+	case *journalDir != "":
 		log.Printf("job journal: %s (checkpoint every %d batches)", *journalDir, *ckptEvery)
 	}
 
@@ -175,11 +232,11 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down: draining jobs (deadline %v)", *drain)
+	log.Printf("shutting down: draining (deadline %v)", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("drain deadline exceeded; in-flight jobs cancelled")
+	if err := shutdown(dctx); err != nil {
+		log.Printf("drain deadline exceeded; in-flight work cancelled")
 	} else {
 		log.Printf("drained cleanly")
 	}

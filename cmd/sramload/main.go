@@ -12,6 +12,8 @@
 //	sramload -repeat 16 -sramd ./sramd-binary            # result-cache bench
 //	sramload -cache-smoke -sramd ./sramd-binary -cache-dir /tmp/cas  # CI cache gate
 //	sramload -crash-smoke -sramd ./sramd-binary          # CI crash-recovery gate
+//	sramload -coord-smoke -sramd ./sramd-binary          # CI distributed-mode chaos gate
+//	sramload -fleet 3 -jobs 12 -sramd ./sramd-binary     # coordinated-sweep bench
 //	sramload -version
 //
 // Load mode submits -jobs identical spec jobs across -clients concurrent
@@ -42,6 +44,18 @@
 // golden/serve.json. It also checks the stale-lock takeover and the
 // live-twin refusal.
 //
+// Coord-smoke mode (-coord-smoke) is the CI chaos gate for distributed mode:
+// spawn three workers and a coordinator, submit a 12-point sweep embedding
+// the golden workload, kill -9 one worker provably mid-sweep, and require the
+// sweep to finish with at least one redispatch, a merged ledger byte-identical
+// to the serial in-process run, the golden point matching golden/serve.json
+// exactly, redispatches visible in /metrics, and a clean fleet shutdown.
+//
+// Fleet mode (-fleet N) is the coordinated-sweep bench: N workers plus a
+// coordinator, one controllers×seeds sweep of -jobs points fanned across
+// them, verified byte-identical to the serial run before a "coord_fleet"
+// entry lands in -out.
+//
 // Smoke mode starts the daemon (when -sramd is given), submits one pinned
 // golden workload, verifies the returned artifact byte-for-byte against a
 // local serial run AND against golden/serve.json via report.Compare, checks
@@ -64,11 +78,13 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"cache8t/internal/coord"
 	"cache8t/internal/regress"
 	"cache8t/internal/report"
 	"cache8t/internal/server"
@@ -97,6 +113,8 @@ func run() error {
 		smoke       = flag.Bool("smoke", false, "run the CI smoke: one golden job, byte-identity + golden compare, clean shutdown")
 		cacheSmoke  = flag.Bool("cache-smoke", false, "run the result-cache CI smoke: golden job twice, second must be a cache hit")
 		crashSmoke  = flag.Bool("crash-smoke", false, "run the crash-recovery CI smoke: kill -9 a daemon mid-job, restart, require the recovered artifact to match the golden")
+		coordSmoke  = flag.Bool("coord-smoke", false, "run the distributed-mode CI chaos smoke: 1 coordinator + 3 workers, kill -9 one worker mid-sweep, require redispatch and a serial-identical merged ledger")
+		fleetSize   = flag.Int("fleet", 0, "spawn this many workers plus a coordinator and drive a sweep through the fleet, appending a coord_fleet entry to -out")
 		journalDir  = flag.String("journal-dir", "", "journal dir for -crash-smoke (default: a fresh temp dir)")
 		repeat      = flag.Int("repeat", 0, "resubmit the same spec this many times and report cache hit-rate + latency split")
 		cacheDir    = flag.String("cache-dir", "", "pass a persistent CAS dir to the spawned daemon (-sramd mode)")
@@ -132,6 +150,28 @@ func run() error {
 			jdir = tmp
 		}
 		return runCrashSmoke(ctx, *sramdBin, jdir, *goldenPath)
+	}
+
+	// The coordinator modes likewise manage their own fleet of daemons.
+	if *coordSmoke {
+		if *sramdBin == "" {
+			return fmt.Errorf("-coord-smoke requires -sramd (it spawns a fleet and kills a worker)")
+		}
+		return runCoordSmoke(ctx, *sramdBin, *goldenPath)
+	}
+	if *fleetSize > 0 {
+		if *sramdBin == "" {
+			return fmt.Errorf("-fleet requires -sramd (it spawns the fleet itself)")
+		}
+		entry, err := runFleet(ctx, *sramdBin, *fleetSize, *controller, *workloadFlg, *n, *jobs)
+		if err != nil {
+			return err
+		}
+		if err := regress.AppendLedger(*out, entry); err != nil {
+			return err
+		}
+		fmt.Printf("appended coord_fleet entry to %s\n", *out)
+		return nil
 	}
 
 	// Daemon cache posture per mode: plain load measures simulation
@@ -668,6 +708,319 @@ func runCrashSmoke(ctx context.Context, bin, jdir, goldenPath string) error {
 	return nil
 }
 
+// fleet is a coordinator daemon plus the workers it dispatches to, all
+// spawned on ephemeral ports; cl talks to the coordinator.
+type fleet struct {
+	workers []*spawnedDaemon
+	coordd  *spawnedDaemon
+	cl      *client
+}
+
+// spawnFleet starts n workers, then a coordinator pre-registered with all of
+// them via -peers (plus any extra coordinator flags), and waits for the
+// coordinator to answer /healthz.
+func spawnFleet(ctx context.Context, bin string, n int, coordArgs ...string) (*fleet, error) {
+	f := &fleet{}
+	ok := false
+	defer func() {
+		if !ok {
+			f.kill()
+		}
+	}()
+	peers := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := spawnDaemon(bin, "-workers", "1")
+		if err != nil {
+			return nil, err
+		}
+		f.workers = append(f.workers, w)
+		peers = append(peers, w.base)
+	}
+	args := append([]string{"-coordinator", "-peers", strings.Join(peers, ",")}, coordArgs...)
+	cd, err := spawnDaemon(bin, args...)
+	if err != nil {
+		return nil, err
+	}
+	f.coordd = cd
+	f.cl = &client{base: cd.base, hc: &http.Client{}}
+	if err := f.cl.checkHealth(ctx); err != nil {
+		return nil, err
+	}
+	ok = true
+	return f, nil
+}
+
+// kill is the deferred safety net: SIGKILL everything still running.
+func (f *fleet) kill() {
+	if f.coordd != nil {
+		f.coordd.kill()
+	}
+	for _, w := range f.workers {
+		w.kill()
+	}
+}
+
+// coordSweepSpec is the pinned sweep the coord smoke submits: the golden
+// workload point (wgrb/bwaves/seed 1/N 50000 — exactly smokeSpec) embedded
+// in a 3-controller × 4-seed matrix, 12 points total.
+func coordSweepSpec() coord.SweepSpec {
+	s := coord.SweepSpec{
+		Controllers: []string{"rmw", "wg", "wgrb"},
+		Workloads:   []string{"bwaves"},
+		Seeds:       []uint64{1, 2, 3, 4},
+		N:           50_000,
+	}
+	s.Normalize()
+	return s
+}
+
+// runCoordSmoke gates distributed mode end to end — the chaos analogue of
+// runSmoke:
+//
+//  1. spawn 3 workers and a coordinator registered with all of them,
+//  2. submit the 12-point golden sweep; -dispatch 1 serializes the points so
+//     the sweep provably spans a kill window without sleeping or guessing,
+//  3. once at least one point is merged but at least four remain, kill -9
+//     one worker: with 3 workers round-robin, the dead worker's turn must
+//     come up again, so the redispatch path has to fire for the sweep to
+//     finish at all,
+//  4. require the sweep to succeed with retries >= 1, the merged ledger to
+//     be byte-identical to coord.ExecuteSerial of the same spec, the golden
+//     point inside it to match golden/serve.json exactly, the redispatch to
+//     show in /metrics, and the surviving fleet to shut down cleanly.
+func runCoordSmoke(ctx context.Context, bin, goldenPath string) error {
+	f, err := spawnFleet(ctx, bin, 3, "-dispatch", "1", "-point-timeout", "30s")
+	if err != nil {
+		return err
+	}
+	defer f.kill()
+
+	spec := coordSweepSpec()
+	st, err := f.cl.submitSweep(ctx, spec)
+	if err != nil {
+		return err
+	}
+	points := st.Points
+	log.Printf("sweep %s accepted: %d points over %d workers", st.ID, points, len(f.workers))
+
+	killed := false
+	for !st.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+		if st, err = f.cl.sweepStatus(ctx, st.ID); err != nil {
+			return err
+		}
+		if !killed && st.Done >= 1 && st.Done <= points-4 {
+			log.Printf("sweep at %d/%d points — kill -9 worker at %s", st.Done, points, f.workers[0].base)
+			f.workers[0].kill()
+			killed = true
+		}
+	}
+	if !killed {
+		return fmt.Errorf("sweep finished (%s, %d/%d) before a worker could be killed mid-flight", st.State, st.Done, points)
+	}
+	if st.State != server.StateSucceeded {
+		return fmt.Errorf("sweep %s ended %s after the worker kill: %s", st.ID, st.State, st.Error)
+	}
+	if st.Retries < 1 {
+		return fmt.Errorf("sweep survived the kill without a single redispatch — the chaos injection missed")
+	}
+	log.Printf("sweep succeeded with %d redispatch(es) after the kill", st.Retries)
+
+	// Identity through the chaos: the merged ledger equals a serial
+	// in-process run of the same sweep, byte for byte — which also proves no
+	// artifact from the killed worker's aborted dispatch was merged.
+	merged, err := f.cl.get(ctx, "/v1/sweeps/"+st.ID+"/result")
+	if err != nil {
+		return err
+	}
+	serial, err := coord.ExecuteSerial(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(merged, serial) {
+		return fmt.Errorf("merged ledger differs from the serial in-process run (%d vs %d bytes)", len(merged), len(serial))
+	}
+	log.Printf("identity verified: merged ledger == serial in-process ledger (%d bytes)", len(merged))
+
+	// The golden point inside the matrix must still match the checked-in
+	// golden artifact exactly — the zero band.
+	pts, err := spec.Decompose()
+	if err != nil {
+		return err
+	}
+	goldenIdx := -1
+	for _, p := range pts {
+		if p.Spec.Controller == "wgrb" && p.Spec.Seed == 1 {
+			goldenIdx = p.Index
+		}
+	}
+	if goldenIdx < 0 {
+		return fmt.Errorf("golden point wgrb/seed 1 not found in the decomposed sweep")
+	}
+	led, err := coord.DecodeLedger(merged)
+	if err != nil {
+		return err
+	}
+	art, err := report.Decode([]byte(led.Artifacts[goldenIdx]))
+	if err != nil {
+		return err
+	}
+	golden, err := report.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `sramload -smoke -update` to create it)", err)
+	}
+	if diff := report.Compare(golden, art, report.Bands{}); !diff.OK() {
+		t := diff.Table(fmt.Sprintf("coord-smoke [DRIFT] vs %s", goldenPath), false)
+		t.Render(os.Stderr)
+		return fmt.Errorf("golden point in the merged ledger drifted from %s", goldenPath)
+	}
+
+	// The redispatch must be visible in the coordinator's metrics.
+	metrics, err := f.cl.get(ctx, "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := metricAtLeast(metrics, "coord_redispatches_total", 1); err != nil {
+		return err
+	}
+	if err := metricAtLeast(metrics, `coord_sweeps_total{state="succeeded"}`, 1); err != nil {
+		return err
+	}
+
+	// The coordinator and the two surviving workers drain cleanly.
+	if err := f.coordd.stopGracefully(); err != nil {
+		return fmt.Errorf("coordinator graceful shutdown: %w", err)
+	}
+	for _, w := range f.workers[1:] {
+		if err := w.stopGracefully(); err != nil {
+			return fmt.Errorf("worker graceful shutdown: %w", err)
+		}
+	}
+	fmt.Printf("coord-smoke ok — worker killed mid-sweep, %d redispatch(es), ledger serial-identical, golden point matches %s\n",
+		st.Retries, goldenPath)
+	return nil
+}
+
+// runFleet is the coordinated-sweep bench driver: n workers plus a
+// coordinator, one controllers×seeds sweep of pts points fanned across them,
+// verified byte-identical to the serial in-process run before the
+// "coord_fleet" entry is recorded.
+func runFleet(ctx context.Context, bin string, n int, controller, workload string, accesses, pts int) (loadEntry, error) {
+	if pts < 1 {
+		pts = 1
+	}
+	// Scale dispatch parallelism with the fleet so the bench actually fans
+	// out instead of trickling through the default window.
+	f, err := spawnFleet(ctx, bin, n, "-dispatch", strconv.Itoa(2*n))
+	if err != nil {
+		return loadEntry{}, err
+	}
+	defer f.kill()
+
+	seeds := make([]uint64, pts)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	spec := coord.SweepSpec{
+		Controllers: []string{controller},
+		Workloads:   []string{workload},
+		Seeds:       seeds,
+		N:           accesses,
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return loadEntry{}, err
+	}
+
+	start := time.Now()
+	st, err := f.cl.submitSweep(ctx, spec)
+	if err != nil {
+		return loadEntry{}, err
+	}
+	for !st.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			return loadEntry{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		if st, err = f.cl.sweepStatus(ctx, st.ID); err != nil {
+			return loadEntry{}, err
+		}
+	}
+	wall := time.Since(start)
+	if st.State != server.StateSucceeded {
+		return loadEntry{}, fmt.Errorf("sweep %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+
+	merged, err := f.cl.get(ctx, "/v1/sweeps/"+st.ID+"/result")
+	if err != nil {
+		return loadEntry{}, err
+	}
+	serial, err := coord.ExecuteSerial(ctx, spec)
+	if err != nil {
+		return loadEntry{}, err
+	}
+	if !bytes.Equal(merged, serial) {
+		return loadEntry{}, fmt.Errorf("merged ledger differs from the serial in-process run (%d vs %d bytes)", len(merged), len(serial))
+	}
+	log.Printf("identity verified: merged ledger == serial in-process ledger (%d bytes)", len(merged))
+
+	if err := f.coordd.stopGracefully(); err != nil {
+		return loadEntry{}, fmt.Errorf("coordinator graceful shutdown: %w", err)
+	}
+	for _, w := range f.workers {
+		if err := w.stopGracefully(); err != nil {
+			return loadEntry{}, fmt.Errorf("worker graceful shutdown: %w", err)
+		}
+	}
+
+	e := loadEntry{
+		Schema:     report.SchemaVersion,
+		GitSHA:     report.GitSHA(),
+		UnixMS:     time.Now().UnixMilli(),
+		Mode:       "coord_fleet",
+		Clients:    n,
+		Jobs:       st.Points,
+		Workload:   workload,
+		Controller: controller,
+		N:          accesses,
+		WallMS:     wall.Seconds() * 1e3,
+		Verified:   true,
+		Retries:    st.Retries,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		e.JobsPerSec = float64(st.Points) / secs
+		e.AccessesPerSec = float64(st.Points) * float64(accesses) / secs
+	}
+	fmt.Printf("%d points x %d accesses over %d workers in %v (%.1f points/sec, %.0f accesses/sec)\n",
+		st.Points, accesses, n, wall.Round(time.Millisecond), e.JobsPerSec, e.AccessesPerSec)
+	return e, nil
+}
+
+// metricAtLeast asserts metrics contains a `name value` line with
+// value >= minVal.
+func metricAtLeast(metrics []byte, name string, minVal float64) error {
+	for _, line := range strings.Split(string(metrics), "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return fmt.Errorf("/metrics %s: unparseable value %q", name, rest)
+		}
+		if v < minVal {
+			return fmt.Errorf("/metrics %s = %v, want >= %v", name, v, minVal)
+		}
+		return nil
+	}
+	return fmt.Errorf("/metrics missing %s", name)
+}
+
 // loadEntry is one appended record of service throughput in the
 // BENCH_core.json ledger (heterogeneous entries; see regress.AppendLedger).
 type loadEntry struct {
@@ -688,6 +1041,9 @@ type loadEntry struct {
 	JobsPerSec     float64 `json:"jobs_per_sec"`
 	AccessesPerSec float64 `json:"accesses_per_sec"`
 	Verified       bool    `json:"verified_identical"`
+	// Coordinator fields, set by -fleet ("coord_fleet" entries): Clients is
+	// the worker count, Jobs the sweep's point count.
+	Retries int `json:"retries,omitempty"`
 	// Result-cache fields, set by -repeat ("rescache" entries).
 	CachedJobs    int     `json:"cached_jobs,omitempty"`
 	HitRate       float64 `json:"hit_rate,omitempty"`
@@ -838,6 +1194,47 @@ func (c *client) runJob(ctx context.Context, spec server.JobSpec) (server.JobSta
 	return st, art, err
 }
 
+// submitSweep POSTs a sweep spec to a coordinator and returns the 202
+// status without waiting for the sweep to finish.
+func (c *client) submitSweep(ctx context.Context, spec coord.SweepSpec) (coord.SweepStatus, error) {
+	canon, err := spec.Canonical()
+	if err != nil {
+		return coord.SweepStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(canon))
+	if err != nil {
+		return coord.SweepStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return coord.SweepStatus{}, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return coord.SweepStatus{}, fmt.Errorf("submit sweep: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st coord.SweepStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return coord.SweepStatus{}, err
+	}
+	return st, nil
+}
+
+// sweepStatus fetches a sweep's current status from a coordinator.
+func (c *client) sweepStatus(ctx context.Context, id string) (coord.SweepStatus, error) {
+	body, err := c.get(ctx, "/v1/sweeps/"+id)
+	if err != nil {
+		return coord.SweepStatus{}, err
+	}
+	var st coord.SweepStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return coord.SweepStatus{}, err
+	}
+	return st, nil
+}
+
 // waitTerminal follows the job's SSE stream until a terminal status event.
 func (c *client) waitTerminal(ctx context.Context, id string) (server.JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
@@ -850,7 +1247,10 @@ func (c *client) waitTerminal(ctx context.Context, id string) (server.JobStatus,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return server.JobStatus{}, fmt.Errorf("events %s: %s", id, resp.Status)
+		// Include the body: the status line alone ("404 Not Found") says
+		// nothing about *why* — the API explains itself in the JSON error.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return server.JobStatus{}, fmt.Errorf("events %s: %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)

@@ -1,0 +1,19 @@
+package coord
+
+import "time"
+
+// Clock abstracts time for the dispatch loop — attempt timeouts, poll
+// ticks, backoff waits, breaker cooldowns, rate-limiter refills — so the
+// fault-injection tests drive every one of them through a fake clock with
+// no real sleeps, matching the existing lifecycle-test style.
+type Clock interface {
+	Now() time.Time
+	// After fires once d has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

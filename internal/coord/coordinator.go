@@ -1,0 +1,582 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cache8t/internal/report"
+	"cache8t/internal/rescache"
+	"cache8t/internal/server"
+)
+
+// maxResponseBytes bounds any single worker response body the coordinator
+// will buffer (artifacts are a few KB; this is a containment limit).
+const maxResponseBytes = 8 << 20
+
+// maxSweepSpecBytes bounds a submitted sweep spec body.
+const maxSweepSpecBytes = 1 << 20
+
+// errCorrupt marks a fetched artifact that failed config-hash verification.
+// Such a result is re-dispatched (the hash names the exact simulation the
+// point requires, so a mismatch means the worker returned the wrong or
+// damaged bytes) and never reaches the merge.
+var errCorrupt = errors.New("artifact failed config-hash verification")
+
+// Config parameterizes a Coordinator. Zero values get production defaults;
+// tests inject a fake Clock and tight timeouts.
+type Config struct {
+	// Workers are base URLs of sramd workers registered at startup. More can
+	// join later via POST /v1/workers.
+	Workers []string
+	// DispatchParallel caps concurrently in-flight point dispatches per
+	// sweep (default 4).
+	DispatchParallel int
+	// MaxActiveSweeps caps concurrently non-terminal sweeps (default 8).
+	MaxActiveSweeps int
+	// PointTimeout bounds one dispatch attempt end to end — submit, poll,
+	// fetch (default 2m).
+	PointTimeout time.Duration
+	// PollInterval spaces job-status polls within an attempt (default 25ms).
+	PollInterval time.Duration
+	// PointAttempts caps dispatch attempts per point before the sweep fails
+	// (default 5).
+	PointAttempts int
+	// BackoffBase and BackoffCap shape the jittered exponential backoff
+	// between attempts: base×2^n capped, then jittered into [d/2, d]
+	// (defaults 100ms / 5s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold consecutive failures open a worker's breaker for
+	// BreakerCooldown (defaults 3 / 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// SweepRate and SweepBurst configure the per-client submission token
+	// bucket (rate <= 0 disables limiting; default burst 4).
+	SweepRate  float64
+	SweepBurst int
+	// Cache is the result cache. Per-point artifacts are stored under their
+	// config hash (shared with the workers' key scheme), sweep specs under
+	// "sweep:<hash>", merged ledgers under "ledger:<hash>".
+	Cache *rescache.Cache
+	// JournalDir, when set, makes the sweep table durable through the same
+	// journal idiom the job server uses. Requires Cache with a disk tier.
+	JournalDir string
+	// Clock abstracts time; tests inject a fake (default wall clock).
+	Clock Clock
+	// HTTPClient performs worker requests (default a fresh client; per-call
+	// deadlines come from PointTimeout, not a client timeout).
+	HTTPClient *http.Client
+	// JitterSeed seeds the backoff jitter RNG for reproducible tests
+	// (default 1; jitter de-synchronizes concurrent retries either way).
+	JitterSeed int64
+	// Version is reported by /healthz.
+	Version string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.DispatchParallel <= 0 {
+		cfg.DispatchParallel = 4
+	}
+	if cfg.MaxActiveSweeps <= 0 {
+		cfg.MaxActiveSweeps = 8
+	}
+	if cfg.PointTimeout <= 0 {
+		cfg.PointTimeout = 2 * time.Minute
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.PointAttempts <= 0 {
+		cfg.PointAttempts = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 5 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.SweepBurst <= 0 {
+		cfg.SweepBurst = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	return cfg
+}
+
+// Coordinator owns the sweep table and the dispatch loop. All its state
+// beyond the journal is in memory; workers hold no coordinator state at all.
+type Coordinator struct {
+	cfg   Config
+	clk   Clock
+	reg   *registry
+	lim   *limiter
+	httpc *http.Client
+	cache *rescache.Cache
+
+	journal *server.Journal
+	met     coordMetrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	accepting  atomic.Bool
+	sweepWG    sync.WaitGroup
+
+	mu     sync.Mutex
+	sweeps map[string]*Sweep
+	order  []string
+	seq    int
+	active int // non-terminal sweeps
+}
+
+// New builds a Coordinator, registers cfg.Workers, and — when JournalDir is
+// set — replays the sweep journal: terminal sweeps re-appear with their
+// ledgers served from the CAS, non-terminal sweeps resume dispatching, with
+// already-finished points found under their config hashes and never
+// re-simulated.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.JournalDir != "" && (cfg.Cache == nil || !cfg.Cache.HasDisk()) {
+		return nil, fmt.Errorf("coord: JournalDir requires a result cache with a disk tier")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		reg:        newRegistry(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		lim:        newLimiter(cfg.SweepRate, cfg.SweepBurst),
+		httpc:      cfg.HTTPClient,
+		cache:      cfg.Cache,
+		rng:        rand.New(rand.NewSource(cfg.JitterSeed)),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sweeps:     map[string]*Sweep{},
+	}
+	c.accepting.Store(true)
+	for _, u := range cfg.Workers {
+		if _, err := c.reg.add(u); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	if cfg.JournalDir != "" {
+		j, recs, err := server.OpenRecordJournal(cfg.JournalDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.journal = j
+		c.recover(recs)
+	}
+	return c, nil
+}
+
+// parseSweepID extracts the sequence number from a "s-%06d" sweep id.
+func parseSweepID(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "s-%06d", &n); err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover rebuilds the sweep table from compacted journal records. Terminal
+// sweeps are re-registered as-is (ledger from the CAS); non-terminal sweeps
+// whose canonical spec survives in the CAS are re-dispatched from scratch —
+// per-point cache hits make the re-dispatch resume, not restart. A
+// non-terminal sweep whose spec is gone fails explicitly rather than
+// vanishing.
+func (c *Coordinator) recover(recs []server.Record) {
+	now := c.clk.Now()
+	for _, rec := range recs {
+		n, ok := parseSweepID(rec.Job)
+		if !ok {
+			continue
+		}
+		if n > c.seq {
+			c.seq = n
+		}
+		var spec SweepSpec
+		specOK := false
+		if blob, _, ok := c.cache.Get("sweep:" + rec.SpecKey); ok {
+			if sp, err := DecodeSweepSpec(blob); err == nil {
+				spec, specOK = sp, true
+			}
+		}
+		points := 0
+		if specOK {
+			points = spec.Points()
+		}
+		s := newSweep(c.baseCtx, rec.Job, spec, rec.SpecKey, points, now)
+		s.markRecovered()
+		c.mu.Lock()
+		c.sweeps[s.ID] = s
+		c.order = append(c.order, s.ID)
+		c.mu.Unlock()
+		switch {
+		case rec.State.Terminal():
+			var merged []byte
+			if rec.State == server.StateSucceeded {
+				if blob, _, ok := c.cache.Get("ledger:" + rec.SpecKey); ok {
+					merged = blob
+				}
+				s.done.Store(int64(points))
+			}
+			s.finish(rec.State, rec.Error, merged, now)
+		case !specOK:
+			c.met.sweepsRecovered.Add(1)
+			c.mu.Lock()
+			c.active++
+			c.mu.Unlock()
+			c.finishSweep(s, server.StateFailed, "sweep spec lost from result cache; cannot resume", nil)
+		default:
+			c.met.sweepsRecovered.Add(1)
+			c.mu.Lock()
+			c.active++
+			c.mu.Unlock()
+			c.sweepWG.Add(1)
+			go c.runSweep(s)
+		}
+	}
+}
+
+// Shutdown drains: no new sweeps are accepted, in-flight sweeps run to
+// completion. When ctx expires first, remaining sweeps are cancelled.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.accepting.Store(false)
+	done := make(chan struct{})
+	go func() {
+		c.sweepWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		c.baseCancel()
+		<-done
+	}
+	c.baseCancel()
+	if c.journal != nil {
+		c.journal.Close()
+	}
+	return err
+}
+
+// journalSweep appends one sweep transition (no-op without a journal).
+func (c *Coordinator) journalSweep(s *Sweep, state server.State, errText string) {
+	if c.journal == nil {
+		return
+	}
+	c.journal.AppendRecord(server.Record{
+		Job:      s.ID,
+		State:    state,
+		SpecKey:  s.Hash,
+		Error:    errText,
+		Accesses: uint64(s.done.Load()),
+		UnixMS:   c.clk.Now().UnixMilli(),
+	})
+}
+
+// finishSweep applies a terminal transition once: sweep state, journal,
+// metrics, ledger persistence, active-count accounting.
+func (c *Coordinator) finishSweep(s *Sweep, state server.State, errText string, merged []byte) {
+	if !s.finish(state, errText, merged, c.clk.Now()) {
+		return
+	}
+	if state == server.StateSucceeded && merged != nil && c.cache != nil {
+		c.cache.Put("ledger:"+s.Hash, merged)
+	}
+	c.journalSweep(s, state, errText)
+	switch state {
+	case server.StateSucceeded:
+		c.met.sweepsSucceeded.Add(1)
+	case server.StateFailed:
+		c.met.sweepsFailed.Add(1)
+	case server.StateCancelled:
+		c.met.sweepsCancelled.Add(1)
+	}
+	c.mu.Lock()
+	c.active--
+	c.mu.Unlock()
+}
+
+// runSweep is one sweep's lifecycle: decompose, fan the points over the
+// fleet under the dispatch-parallel cap, slot every verified artifact by
+// point index, merge. Slotting by index — never completion order — is what
+// makes the merged ledger independent of scheduling.
+func (c *Coordinator) runSweep(s *Sweep) {
+	defer c.sweepWG.Done()
+	if !s.start(c.clk.Now()) {
+		return
+	}
+	c.journalSweep(s, server.StateRunning, "")
+	points, err := s.Spec.Decompose()
+	if err != nil {
+		c.finishSweep(s, server.StateFailed, err.Error(), nil)
+		return
+	}
+	arts := make([][]byte, len(points))
+	errs := make([]error, len(points))
+	sem := make(chan struct{}, c.cfg.DispatchParallel)
+	var wg sync.WaitGroup
+	for i := range points {
+		if s.ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			arts[i], errs[i] = c.dispatchPoint(s, points[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			c.finishSweep(s, server.StateFailed, fmt.Sprintf("point %d: %v", i, e), nil)
+			return
+		}
+	}
+	if s.ctx.Err() != nil {
+		// Cancelled between scheduling loops; the DELETE handler already
+		// applied the terminal transition, this is belt and braces.
+		c.finishSweep(s, server.StateCancelled, "", nil)
+		return
+	}
+	merged, err := MergeLedger(s.Hash, arts)
+	if err != nil {
+		c.finishSweep(s, server.StateFailed, err.Error(), nil)
+		return
+	}
+	c.finishSweep(s, server.StateSucceeded, "", merged)
+}
+
+// dispatchPoint produces one point's verified artifact: result-cache first,
+// then up to PointAttempts dispatches across the fleet with jittered
+// exponential backoff between attempts. Every failure mode — HTTP error
+// status, timeout, connection reset, corrupt artifact — lands here as an
+// error and is retried, preferentially on a different worker (round-robin
+// plus the failing worker's breaker filling up).
+func (c *Coordinator) dispatchPoint(s *Sweep, p Point) ([]byte, error) {
+	if c.cache != nil {
+		if blob, _, ok := c.cache.Get(p.ConfigHash); ok {
+			if art, err := report.Decode(blob); err == nil && art.ConfigHash == p.ConfigHash {
+				c.met.pointsCached.Add(1)
+				s.cached.Add(1)
+				s.done.Add(1)
+				return blob, nil
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.PointAttempts; attempt++ {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.met.redispatches.Add(1)
+			s.retries.Add(1)
+			if err := c.backoffWait(s.ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		w := c.reg.pick(c.clk.Now())
+		if w == nil {
+			lastErr = errors.New("no worker available (fleet empty or every breaker open)")
+			continue
+		}
+		art, err := c.runOnWorker(s.ctx, w, p)
+		if err == nil {
+			w.succeeded.Add(1)
+			w.brk.success()
+			c.met.pointsSucceeded.Add(1)
+			s.done.Add(1)
+			if c.cache != nil {
+				c.cache.Put(p.ConfigHash, art)
+			}
+			return art, nil
+		}
+		lastErr = err
+		if errors.Is(err, errCorrupt) {
+			c.met.corruptArtifacts.Add(1)
+		}
+		w.failed.Add(1)
+		if w.brk.failure(c.clk.Now()) {
+			c.met.breakerOpens.Add(1)
+		}
+	}
+	return nil, fmt.Errorf("gave up after %d attempts: %w", c.cfg.PointAttempts, lastErr)
+}
+
+// backoffWait sleeps (on the coordinator's clock) for the nth backoff:
+// base×2^n capped at BackoffCap, jittered into [d/2, d] so concurrent
+// retries spread out instead of stampeding a recovering worker.
+func (c *Coordinator) backoffWait(ctx context.Context, n int) error {
+	d := c.cfg.BackoffBase << uint(n)
+	if d <= 0 || d > c.cfg.BackoffCap {
+		d = c.cfg.BackoffCap
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.rngMu.Unlock()
+	d = d/2 + j
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.clk.After(d):
+		return nil
+	}
+}
+
+// runOnWorker is one dispatch attempt end to end: submit the point's job,
+// poll to terminal, fetch the artifact, verify its config hash. The whole
+// attempt shares one PointTimeout deadline on the coordinator's clock.
+func (c *Coordinator) runOnWorker(ctx context.Context, w *worker, p Point) ([]byte, error) {
+	c.met.pointsDispatched.Add(1)
+	w.dispatched.Add(1)
+	deadline := c.clk.Now().Add(c.cfg.PointTimeout)
+
+	specBody, err := json.Marshal(p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	body, code, err := c.doBounded(ctx, http.MethodPost, w.url+"/v1/jobs", specBody, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", w.url, err)
+	}
+	if code != http.StatusAccepted {
+		return nil, fmt.Errorf("submit to %s: status %d: %s", w.url, code, strings.TrimSpace(string(body)))
+	}
+	var js server.JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		return nil, fmt.Errorf("submit to %s: bad status body: %w", w.url, err)
+	}
+	for !js.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.clk.After(c.cfg.PollInterval):
+		}
+		if !c.clk.Now().Before(deadline) {
+			return nil, fmt.Errorf("point timed out after %s on %s", c.cfg.PointTimeout, w.url)
+		}
+		body, code, err = c.doBounded(ctx, http.MethodGet, w.url+"/v1/jobs/"+js.ID, nil, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("poll %s on %s: %w", js.ID, w.url, err)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("poll %s on %s: status %d: %s", js.ID, w.url, code, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &js); err != nil {
+			return nil, fmt.Errorf("poll %s on %s: bad status body: %w", js.ID, w.url, err)
+		}
+	}
+	if js.State != server.StateSucceeded {
+		return nil, fmt.Errorf("job %s on %s %s: %s", js.ID, w.url, js.State, js.Error)
+	}
+	body, code, err = c.doBounded(ctx, http.MethodGet, w.url+"/v1/jobs/"+js.ID+"/result", nil, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s on %s: %w", js.ID, w.url, err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("fetch %s on %s: status %d: %s", js.ID, w.url, code, strings.TrimSpace(string(body)))
+	}
+	art, err := report.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s on %s: %v", errCorrupt, js.ID, w.url, err)
+	}
+	if art.ConfigHash != p.ConfigHash {
+		return nil, fmt.Errorf("%w: %s on %s: got %s want %s", errCorrupt, js.ID, w.url, art.ConfigHash, p.ConfigHash)
+	}
+	return body, nil
+}
+
+type httpResult struct {
+	body []byte
+	code int
+	err  error
+}
+
+// doBounded performs one HTTP exchange bounded by the attempt deadline on
+// the coordinator's clock: the request runs in a goroutine and this call
+// selects on completion, the clock, and ctx. On timeout the request context
+// is cancelled, so a hung worker costs the deadline, never a goroutine.
+func (c *Coordinator) doBounded(ctx context.Context, method, url string, reqBody []byte, deadline time.Time) ([]byte, int, error) {
+	remaining := deadline.Sub(c.clk.Now())
+	if remaining <= 0 {
+		return nil, 0, fmt.Errorf("attempt deadline exceeded")
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan httpResult, 1)
+	go func() {
+		var rd io.Reader
+		if reqBody != nil {
+			rd = bytes.NewReader(reqBody)
+		}
+		req, err := http.NewRequestWithContext(rctx, method, url, rd)
+		if err != nil {
+			ch <- httpResult{err: err}
+			return
+		}
+		if reqBody != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			ch <- httpResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+		if err != nil {
+			ch <- httpResult{err: err}
+			return
+		}
+		if len(b) > maxResponseBytes {
+			ch <- httpResult{err: fmt.Errorf("response exceeds %d bytes", maxResponseBytes)}
+			return
+		}
+		ch <- httpResult{body: b, code: resp.StatusCode}
+	}()
+	select {
+	case r := <-ch:
+		return r.body, r.code, r.err
+	case <-c.clk.After(remaining):
+		cancel()
+		<-ch // the cancelled request returns promptly
+		return nil, 0, fmt.Errorf("request timed out")
+	case <-ctx.Done():
+		cancel()
+		<-ch
+		return nil, 0, ctx.Err()
+	}
+}

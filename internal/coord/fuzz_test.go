@@ -1,0 +1,92 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzSweepSpec pins the decomposition contract on arbitrary input: decode
+// and validation never panic, and for every spec that validates, Decompose
+// yields exactly Points() cells, each individually valid, each drawn from
+// the spec's axes, all distinct — which by counting means the full matrix
+// is covered exactly once.
+func FuzzSweepSpec(f *testing.F) {
+	f.Add([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":1000}`))
+	f.Add([]byte(`{"controllers":["rmw","wg","wgrb"],"workloads":["bwaves","mcf"],"seeds":[1,2,3],"n":50000}`))
+	f.Add([]byte(`{"controllers":["conv"],"workloads":["bwaves"],"n":10,"sizes_kb":[32,64],"ways":[2,4],"block_bytes":[32,64],"buffer_depths":[1,2,4]}`))
+	f.Add([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":100,"policy":"fifo","vdd":0.9,"freq_mhz":1000}`))
+	f.Add([]byte(`{"controllers":[""],"workloads":[""],"n":-1}`))
+	f.Add([]byte(`{"controllers":["a","a"],"workloads":["b"],"n":1,"seeds":[0,0]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"n":100} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSweepSpec(data)
+		if err != nil {
+			return
+		}
+		n := spec.Points() // must never panic, even pre-validation
+		if err := spec.Validate(); err != nil {
+			if _, ok := err.(*SweepError); !ok {
+				t.Fatalf("Validate returned non-SweepError %T: %v", err, err)
+			}
+			return
+		}
+		points, err := spec.Decompose()
+		if err != nil {
+			t.Fatalf("valid spec failed to decompose: %v", err)
+		}
+		if n < 0 || len(points) != n {
+			t.Fatalf("decomposed %d points, Points() = %d", len(points), n)
+		}
+		inAxis := func(vals []string, v string) bool {
+			for _, x := range vals {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		inInts := func(vals []int, v int) bool {
+			for _, x := range vals {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		seen := map[string]bool{}
+		for i, p := range points {
+			if p.Index != i {
+				t.Fatalf("point %d carries index %d", i, p.Index)
+			}
+			if err := p.Spec.Validate(false); err != nil {
+				t.Fatalf("decomposed point %d fails single-job validation: %v", i, err)
+			}
+			if !inAxis(spec.Controllers, p.Spec.Controller) ||
+				!inAxis(spec.Workloads, p.Spec.Workload) ||
+				!inInts(spec.SizesKB, p.Spec.Cache.SizeKB) ||
+				!inInts(spec.Ways, p.Spec.Cache.Ways) ||
+				!inInts(spec.BlockBytes, p.Spec.Cache.BlockBytes) ||
+				!inInts(spec.BufferDepths, p.Spec.Options.BufferDepth) {
+				t.Fatalf("point %d drawn from outside the axes: %+v", i, p.Spec)
+			}
+			seedOK := false
+			for _, s := range spec.Seeds {
+				if s == p.Spec.Seed {
+					seedOK = true
+				}
+			}
+			if !seedOK {
+				t.Fatalf("point %d seed %d not in axis %v", i, p.Spec.Seed, spec.Seeds)
+			}
+			key := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d", p.Spec.Controller, p.Spec.Workload,
+				p.Spec.Seed, p.Spec.Cache.SizeKB, p.Spec.Cache.Ways,
+				p.Spec.Cache.BlockBytes, p.Spec.Options.BufferDepth)
+			if seen[key] {
+				t.Fatalf("matrix cell %s decomposed twice", key)
+			}
+			seen[key] = true
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"cache8t/internal/server"
+)
+
+// Handler returns the coordinator's HTTP API. It deliberately rhymes with
+// the worker API: /v1/sweeps is to sweeps what /v1/jobs is to jobs, with the
+// same status envelope, error envelope, and lifecycle verbs.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", c.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", c.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", c.handleResult)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", c.handleCancel)
+	mux.HandleFunc("POST /v1/workers", c.handleRegisterWorker)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// apiErr mirrors the worker API's JSON error envelope.
+type apiErr struct {
+	Error  string              `json:"error"`
+	State  server.State        `json:"state,omitempty"`
+	Fields []server.FieldError `json:"fields,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clientID identifies the submitter for rate limiting: the X-Client-ID
+// header when set (cooperating clients name themselves), else the remote
+// host so distinct machines get distinct buckets.
+func clientID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Client-ID")); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// handleSubmit accepts a sweep: 202 with the sweep status, 400 on a
+// malformed or invalid spec (field-level errors), 413 past the body limit,
+// 429 when rate-limited or the active-sweep table is full, 503 while
+// draining. A sweep whose merged ledger is already in the CAS short-circuits
+// to succeeded without a single dispatch — the sweep-level analogue of the
+// worker's cache hit on submit.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !c.accepting.Load() {
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiErr{Error: "coordinator is draining; not accepting sweeps"})
+		return
+	}
+	if !c.lim.allow(clientID(r), c.clk.Now()) {
+		c.met.rateLimited.Add(1)
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, apiErr{Error: "rate limit exceeded; retry later"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSweepSpecBytes))
+	if err != nil {
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiErr{Error: fmt.Sprintf("sweep spec exceeds the %d-byte limit", maxSweepSpecBytes)})
+		return
+	}
+	spec, err := DecodeSweepSpec(body)
+	if err != nil {
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiErr{Error: err.Error()})
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		c.met.sweepsRejected.Add(1)
+		if se, ok := err.(*SweepError); ok {
+			writeJSON(w, http.StatusBadRequest, apiErr{Error: "invalid sweep spec", Fields: se.Fields})
+		} else {
+			writeJSON(w, http.StatusBadRequest, apiErr{Error: err.Error()})
+		}
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusInternalServerError, apiErr{Error: err.Error()})
+		return
+	}
+	points := spec.Points()
+
+	c.mu.Lock()
+	if c.active >= c.cfg.MaxActiveSweeps {
+		c.mu.Unlock()
+		c.met.sweepsRejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests,
+			apiErr{Error: fmt.Sprintf("%d sweeps already active; retry later", c.cfg.MaxActiveSweeps)})
+		return
+	}
+	c.seq++
+	id := fmt.Sprintf("s-%06d", c.seq)
+	s := newSweep(c.baseCtx, id, spec, hash, points, c.clk.Now())
+	c.sweeps[id] = s
+	c.order = append(c.order, id)
+	c.active++
+	c.mu.Unlock()
+	c.met.sweepsSubmitted.Add(1)
+
+	// Persist the canonical spec before the journal record that references
+	// it, so recovery can always resolve the key it replays.
+	if c.cache != nil {
+		if canon, err := spec.Canonical(); err == nil {
+			c.cache.Put("sweep:"+hash, canon)
+		}
+	}
+	c.journalSweep(s, server.StateQueued, "")
+
+	if c.cache != nil {
+		if blob, _, ok := c.cache.Get("ledger:" + hash); ok {
+			if l, err := DecodeLedger(blob); err == nil && l.Points == points {
+				s.start(c.clk.Now())
+				s.done.Store(int64(points))
+				s.cached.Store(int64(points))
+				c.met.pointsCached.Add(int64(points))
+				c.finishSweep(s, server.StateSucceeded, "", blob)
+				writeJSON(w, http.StatusAccepted, s.status(c.clk.Now()))
+				return
+			}
+		}
+	}
+	c.sweepWG.Add(1)
+	go c.runSweep(s)
+	writeJSON(w, http.StatusAccepted, s.status(c.clk.Now()))
+}
+
+// lookup finds a sweep by path id.
+func (c *Coordinator) lookup(r *http.Request) *Sweep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweeps[r.PathValue("id")]
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	now := c.clk.Now()
+	c.mu.Lock()
+	out := make([]SweepStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.sweeps[id].status(now))
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out, "count": len(out)})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s := c.lookup(r)
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, apiErr{Error: "no such sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(c.clk.Now()))
+}
+
+// handleResult serves the merged canonical ledger: 200 once succeeded, 409
+// with the current state otherwise.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	s := c.lookup(r)
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, apiErr{Error: "no such sweep"})
+		return
+	}
+	if st := s.State(); st != server.StateSucceeded {
+		writeJSON(w, http.StatusConflict, apiErr{Error: "sweep has no result", State: st})
+		return
+	}
+	merged := s.Merged()
+	if merged == nil && c.cache != nil {
+		// Recovered sweep whose ledger lives only in the CAS.
+		if blob, _, ok := c.cache.Get("ledger:" + s.Hash); ok {
+			merged = blob
+		}
+	}
+	if merged == nil {
+		writeJSON(w, http.StatusNotFound, apiErr{Error: "merged ledger evicted from the result cache"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(merged)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s := c.lookup(r)
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, apiErr{Error: "no such sweep"})
+		return
+	}
+	if st := s.State(); st.Terminal() {
+		writeJSON(w, http.StatusConflict, apiErr{Error: "sweep already finished", State: st})
+		return
+	}
+	c.finishSweep(s, server.StateCancelled, "", nil)
+	writeJSON(w, http.StatusOK, s.status(c.clk.Now()))
+}
+
+// handleRegisterWorker adds a worker to the fleet: 201 when new, 200 when
+// already registered (registration is idempotent by URL).
+func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiErr{Error: "registration body too large"})
+		return
+	}
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.URL == "" {
+		writeJSON(w, http.StatusBadRequest, apiErr{Error: `registration body must be {"url": "http://host:port"}`})
+		return
+	}
+	added, err := c.reg.add(req.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiErr{Error: err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if added {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{"workers": c.reg.snapshot(c.clk.Now()), "count": c.reg.size()})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.reg.snapshot(c.clk.Now()), "count": c.reg.size()})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "version": c.cfg.Version, "workers": c.reg.size(),
+	})
+}
+
+// handleReadyz reports readiness to do useful work: accepting sweeps AND at
+// least one registered worker.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !c.accepting.Load():
+		writeJSON(w, http.StatusServiceUnavailable, apiErr{Error: "draining"})
+	case c.reg.size() == 0:
+		writeJSON(w, http.StatusServiceUnavailable, apiErr{Error: "no workers registered"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	active := c.active
+	c.mu.Unlock()
+	journalBytes := int64(-1)
+	if c.journal != nil {
+		journalBytes = c.journal.Bytes()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.render(w, c.reg.snapshot(c.clk.Now()), active, c.accepting.Load(), journalBytes)
+}

@@ -1,0 +1,82 @@
+package coord
+
+import (
+	"sync"
+	"time"
+)
+
+// maxLimiterClients caps the per-client bucket table; past it the stalest
+// bucket is evicted. Fairness degrades gracefully for the evicted client (a
+// fresh bucket means a fresh burst), which beats unbounded memory for a
+// field an untrusted caller controls.
+const maxLimiterClients = 4096
+
+// limiter enforces per-client sweep-submission fairness with one token
+// bucket per client id: capacity burst, refilled at rate tokens/second on
+// the coordinator's clock. A nil *limiter admits everything.
+type limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter, or nil when rate is unlimited (<= 0).
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), clients: map[string]*bucket{}}
+}
+
+// allow takes one token from client's bucket, reporting whether one was
+// available at now.
+func (l *limiter) allow(client string, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[client]
+	if b == nil {
+		if len(l.clients) >= maxLimiterClients {
+			l.evictStalest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictStalest drops the least-recently-refilled bucket. Called under mu.
+func (l *limiter) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, b := range l.clients {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = id, b.last, false
+		}
+	}
+	delete(l.clients, victim)
+}

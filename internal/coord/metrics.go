@@ -1,0 +1,78 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// coordMetrics is the coordinator's cumulative counter set, rendered by
+// /metrics in Prometheus text exposition format.
+type coordMetrics struct {
+	sweepsSubmitted atomic.Int64
+	sweepsRejected  atomic.Int64 // bounced by rate limit, validation, or drain
+	sweepsSucceeded atomic.Int64
+	sweepsFailed    atomic.Int64
+	sweepsCancelled atomic.Int64
+	sweepsRecovered atomic.Int64 // replayed from the journal at startup
+
+	pointsDispatched atomic.Int64 // dispatch attempts sent to workers
+	pointsSucceeded  atomic.Int64 // points finished with a verified artifact
+	pointsCached     atomic.Int64 // points served from the CAS, never dispatched
+	redispatches     atomic.Int64 // failed/timed-out attempts retried elsewhere
+	corruptArtifacts atomic.Int64 // fetched artifacts rejected by hash verification
+	rateLimited      atomic.Int64 // submissions bounced by the token bucket
+	breakerOpens     atomic.Int64 // worker breaker open transitions
+}
+
+// render writes the Prometheus exposition. workers and activeSweeps come
+// from live coordinator state.
+func (m *coordMetrics) render(w io.Writer, workers []WorkerStatus, activeSweeps int, accepting bool, journalBytes int64) {
+	up := 0
+	if accepting {
+		up = 1
+	}
+	fmt.Fprintf(w, "# HELP coord_accepting Whether the coordinator is accepting new sweeps (0 while draining).\n")
+	fmt.Fprintf(w, "# TYPE coord_accepting gauge\ncoord_accepting %d\n", up)
+	fmt.Fprintf(w, "# HELP coord_sweeps_active Sweeps currently queued or dispatching.\n")
+	fmt.Fprintf(w, "# TYPE coord_sweeps_active gauge\ncoord_sweeps_active %d\n", activeSweeps)
+
+	fmt.Fprintf(w, "# HELP coord_sweeps_total Terminal sweeps by state, plus accepted/rejected/recovered submissions.\n")
+	fmt.Fprintf(w, "# TYPE coord_sweeps_total counter\n")
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"submitted\"} %d\n", m.sweepsSubmitted.Load())
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"rejected\"} %d\n", m.sweepsRejected.Load())
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"succeeded\"} %d\n", m.sweepsSucceeded.Load())
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"failed\"} %d\n", m.sweepsFailed.Load())
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"cancelled\"} %d\n", m.sweepsCancelled.Load())
+	fmt.Fprintf(w, "coord_sweeps_total{state=\"recovered\"} %d\n", m.sweepsRecovered.Load())
+
+	fmt.Fprintf(w, "# HELP coord_points_total Point dispatch accounting across all sweeps.\n")
+	fmt.Fprintf(w, "# TYPE coord_points_total counter\n")
+	fmt.Fprintf(w, "coord_points_total{event=\"dispatched\"} %d\n", m.pointsDispatched.Load())
+	fmt.Fprintf(w, "coord_points_total{event=\"succeeded\"} %d\n", m.pointsSucceeded.Load())
+	fmt.Fprintf(w, "coord_points_total{event=\"cached\"} %d\n", m.pointsCached.Load())
+
+	fmt.Fprintf(w, "# HELP coord_redispatches_total Failed or timed-out dispatch attempts that were retried.\n")
+	fmt.Fprintf(w, "# TYPE coord_redispatches_total counter\ncoord_redispatches_total %d\n", m.redispatches.Load())
+	fmt.Fprintf(w, "# HELP coord_corrupt_artifacts_total Fetched artifacts rejected by config-hash verification (never merged).\n")
+	fmt.Fprintf(w, "# TYPE coord_corrupt_artifacts_total counter\ncoord_corrupt_artifacts_total %d\n", m.corruptArtifacts.Load())
+	fmt.Fprintf(w, "# HELP coord_rate_limited_total Sweep submissions bounced by the per-client token bucket.\n")
+	fmt.Fprintf(w, "# TYPE coord_rate_limited_total counter\ncoord_rate_limited_total %d\n", m.rateLimited.Load())
+	fmt.Fprintf(w, "# HELP coord_breaker_opens_total Worker circuit-breaker open transitions.\n")
+	fmt.Fprintf(w, "# TYPE coord_breaker_opens_total counter\ncoord_breaker_opens_total %d\n", m.breakerOpens.Load())
+
+	fmt.Fprintf(w, "# HELP coord_workers Registered workers by breaker state.\n")
+	fmt.Fprintf(w, "# TYPE coord_workers gauge\n")
+	byState := map[string]int{"closed": 0, "open": 0, "half-open": 0}
+	for _, ws := range workers {
+		byState[ws.Breaker]++
+	}
+	for _, st := range []string{"closed", "half-open", "open"} {
+		fmt.Fprintf(w, "coord_workers{breaker=%q} %d\n", st, byState[st])
+	}
+
+	if journalBytes >= 0 {
+		fmt.Fprintf(w, "# HELP coord_journal_bytes Current size of the sweep journal file.\n")
+		fmt.Fprintf(w, "# TYPE coord_journal_bytes gauge\ncoord_journal_bytes %d\n", journalBytes)
+	}
+}

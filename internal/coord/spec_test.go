@@ -1,0 +1,161 @@
+package coord
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cache8t/internal/report"
+)
+
+func TestDecodeSweepSpecStrict(t *testing.T) {
+	if _, err := DecodeSweepSpec([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":100,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeSweepSpec([]byte(`{"n":100} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	s, err := DecodeSweepSpec([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Seeds) != 1 || s.Seeds[0] != 1 || s.SizesKB[0] != 64 || s.Ways[0] != 4 ||
+		s.BlockBytes[0] != 32 || s.BufferDepths[0] != 1 || s.Policy != "lru" ||
+		s.VDD != 1.0 || s.FreqMHz != 2000 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestSweepValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  SweepSpec
+		field string
+	}{
+		{"no controllers", SweepSpec{Workloads: []string{"bwaves"}, N: 10}, "controllers"},
+		{"no workloads", SweepSpec{Controllers: []string{"wgrb"}, N: 10}, "workloads"},
+		{"zero n", SweepSpec{Controllers: []string{"wgrb"}, Workloads: []string{"bwaves"}}, "n"},
+		{"dup controller", SweepSpec{Controllers: []string{"wgrb", "wgrb"}, Workloads: []string{"bwaves"}, N: 10}, "controllers"},
+		{"dup seed", SweepSpec{Controllers: []string{"wgrb"}, Workloads: []string{"bwaves"}, N: 10, Seeds: []uint64{3, 3}}, "seeds"},
+		{"bad controller", SweepSpec{Controllers: []string{"no-such-scheme"}, Workloads: []string{"bwaves"}, N: 10}, "cell[0]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			spec.Normalize()
+			err := spec.Validate()
+			if err == nil {
+				t.Fatal("validated")
+			}
+			se, ok := err.(*SweepError)
+			if !ok {
+				t.Fatalf("error type %T: %v", err, err)
+			}
+			found := false
+			for _, f := range se.Fields {
+				if f.Field == tc.field {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no field error for %q in %v", tc.field, err)
+			}
+		})
+	}
+}
+
+func TestSweepValidateCapsMatrix(t *testing.T) {
+	seeds := make([]uint64, MaxPoints+1)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	spec := SweepSpec{Controllers: []string{"wgrb"}, Workloads: []string{"bwaves"}, N: 10, Seeds: seeds}
+	spec.Normalize()
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("oversized matrix: %v", err)
+	}
+	if spec.Points() != -1 {
+		t.Fatalf("Points() = %d, want -1 past the cap", spec.Points())
+	}
+}
+
+func TestDecomposeCoversMatrixExactlyOnce(t *testing.T) {
+	spec := SweepSpec{
+		Controllers:  []string{"rmw", "wg", "wgrb"},
+		Workloads:    []string{"bwaves", "mcf"},
+		Seeds:        []uint64{1, 2},
+		N:            100,
+		SizesKB:      []int{32, 64},
+		BufferDepths: []int{1, 2},
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 2 * 2 * 2 * 2
+	if len(points) != want || spec.Points() != want {
+		t.Fatalf("decomposed %d points, want %d", len(points), want)
+	}
+	seen := map[string]bool{}
+	hashes := map[string]bool{}
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d carries index %d", i, p.Index)
+		}
+		if p.Source != p.Spec.Workload {
+			t.Fatalf("point %d: source %q != workload %q", i, p.Source, p.Spec.Workload)
+		}
+		key := fmt.Sprintf("%s/%s/%d/%d/%d", p.Spec.Controller, p.Spec.Workload, p.Spec.Seed,
+			p.Spec.Cache.SizeKB, p.Spec.Options.BufferDepth)
+		if seen[key] {
+			t.Fatalf("cell %s decomposed twice", key)
+		}
+		seen[key] = true
+		if p.ConfigHash == "" || hashes[p.ConfigHash] {
+			t.Fatalf("point %d: config hash %q empty or duplicated", i, p.ConfigHash)
+		}
+		hashes[p.ConfigHash] = true
+	}
+	// len(seen) == product and every key is drawn from the axes, so by
+	// counting, every matrix cell appears exactly once.
+	if len(seen) != want {
+		t.Fatalf("covered %d distinct cells, want %d", len(seen), want)
+	}
+}
+
+func TestSweepHashIsCanonical(t *testing.T) {
+	a := SweepSpec{Controllers: []string{"wgrb"}, Workloads: []string{"bwaves"}, N: 100}
+	a.Normalize()
+	b, err := DecodeSweepSpec([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":100,"seeds":[1],"policy":"lru"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("normalized-equal specs hash differently: %s vs %s", ha, hb)
+	}
+	c := a
+	c.N = 101
+	if hc, _ := c.Hash(); hc == ha {
+		t.Fatal("different N, same hash")
+	}
+	canon, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err := report.Hash(a); err != nil || h != ha {
+		t.Fatalf("Hash disagrees with report.Hash over Canonical %s: %v", canon, err)
+	}
+}

@@ -1,0 +1,161 @@
+package coord
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cache8t/internal/server"
+)
+
+// Sweep is one submitted matrix: the validated spec, its content address,
+// and the mutable lifecycle state the HTTP handlers observe. It reuses the
+// job server's state machine (queued → running → succeeded|failed|cancelled,
+// terminal states sticky) so clients, the journal, and the docs speak one
+// vocabulary.
+type Sweep struct {
+	ID string
+	// Spec is the validated, normalized sweep as submitted.
+	Spec SweepSpec
+	// Hash is the sha256 of the canonical sweep spec — the sweep's identity
+	// in the journal and the key of its merged ledger in the CAS.
+	Hash string
+	// PointCount is the matrix size.
+	PointCount int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// done counts points with a verified artifact; cached counts the subset
+	// served from the CAS without a dispatch; retries counts re-dispatched
+	// attempts. All live progress for status polling.
+	done    atomic.Int64
+	cached  atomic.Int64
+	retries atomic.Int64
+
+	mu        sync.Mutex
+	state     server.State
+	errText   string
+	merged    []byte // canonical ledger bytes, set on success
+	recovered bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// newSweep builds a queued sweep whose context descends from parent.
+func newSweep(parent context.Context, id string, spec SweepSpec, hash string, points int, now time.Time) *Sweep {
+	ctx, cancel := context.WithCancel(parent)
+	return &Sweep{
+		ID:         id,
+		Spec:       spec,
+		Hash:       hash,
+		PointCount: points,
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      server.StateQueued,
+		submitted:  now,
+	}
+}
+
+// start moves queued → running, refusing when the sweep was cancelled first.
+func (s *Sweep) start(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != server.StateQueued {
+		return false
+	}
+	s.state = server.StateRunning
+	s.started = now
+	return true
+}
+
+// finish applies the terminal transition exactly once, reporting whether
+// this call was it.
+func (s *Sweep) finish(state server.State, errText string, merged []byte, now time.Time) bool {
+	s.mu.Lock()
+	if s.state.Terminal() {
+		s.mu.Unlock()
+		return false
+	}
+	s.state = state
+	s.errText = errText
+	s.merged = merged
+	s.finished = now
+	s.mu.Unlock()
+	s.cancel()
+	return true
+}
+
+// State returns the current lifecycle state.
+func (s *Sweep) State() server.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Merged returns the canonical ledger bytes (nil unless succeeded).
+func (s *Sweep) Merged() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.merged
+}
+
+// markRecovered flags the sweep as replayed from the journal, before it is
+// reachable from handlers.
+func (s *Sweep) markRecovered() {
+	s.mu.Lock()
+	s.recovered = true
+	s.mu.Unlock()
+}
+
+// SweepStatus is the wire form of a sweep's observable state.
+type SweepStatus struct {
+	ID        string       `json:"id"`
+	State     server.State `json:"state"`
+	SweepHash string       `json:"sweep_hash"`
+	Spec      SweepSpec    `json:"spec"`
+	// Points is the matrix size; Done counts points with verified artifacts
+	// so far; Cached is the subset served from the CAS without dispatching;
+	// Retries counts re-dispatched attempts.
+	Points  int `json:"points"`
+	Done    int `json:"done"`
+	Cached  int `json:"cached,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// Recovered marks a sweep replayed from the journal after a restart.
+	Recovered       bool    `json:"recovered,omitempty"`
+	Error           string  `json:"error,omitempty"`
+	SubmittedUnixMS int64   `json:"submitted_unix_ms"`
+	QueueMS         float64 `json:"queue_ms,omitempty"`
+	RunMS           float64 `json:"run_ms,omitempty"`
+}
+
+// status snapshots the sweep for the API; now supplies the clock for the
+// running-duration readout.
+func (s *Sweep) status(now time.Time) SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SweepStatus{
+		ID:              s.ID,
+		State:           s.state,
+		SweepHash:       s.Hash,
+		Spec:            s.Spec,
+		Points:          s.PointCount,
+		Done:            int(s.done.Load()),
+		Cached:          int(s.cached.Load()),
+		Retries:         int(s.retries.Load()),
+		Recovered:       s.recovered,
+		Error:           s.errText,
+		SubmittedUnixMS: s.submitted.UnixMilli(),
+	}
+	if !s.started.IsZero() {
+		st.QueueMS = float64(s.started.Sub(s.submitted).Microseconds()) / 1e3
+		end := s.finished
+		if end.IsZero() {
+			end = now
+		}
+		st.RunMS = float64(end.Sub(s.started).Microseconds()) / 1e3
+	}
+	return st
+}

@@ -186,6 +186,50 @@ func OpenJournal(dir string) (*Journal, []journalRecord, error) {
 	return &Journal{path: path, f: f, bytes: int64(len(buf))}, recs, nil
 }
 
+// Record is the exported view of one compacted journal record, for
+// components outside the job server that persist their own state machine
+// through the same crash-safe journal — the sweep coordinator
+// (internal/coord) journals its sweep table this way. It carries the subset
+// of journalRecord that is not job-server specific: an id, a lifecycle
+// state, the CAS key of the canonical spec, and terminal provenance.
+type Record struct {
+	Job      string
+	State    State
+	SpecKey  string
+	Error    string
+	Accesses uint64
+	UnixMS   int64
+}
+
+// OpenRecordJournal opens dir's journal exactly like OpenJournal — replay,
+// longest-valid-prefix, per-id compaction, atomic rewrite — and returns the
+// compacted records in exported form, in submission order.
+func OpenRecordJournal(dir string) (*Journal, []Record, error) {
+	j, recs, err := OpenJournal(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = Record{Job: r.Job, State: r.State, SpecKey: r.SpecKey,
+			Error: r.Error, Accesses: r.Accesses, UnixMS: r.UnixMS}
+	}
+	return j, out, nil
+}
+
+// AppendRecord journals one exported record (fsynced, like Append).
+func (j *Journal) AppendRecord(r Record) error {
+	return j.Append(journalRecord{
+		V:        journalVersion,
+		Job:      r.Job,
+		State:    r.State,
+		SpecKey:  r.SpecKey,
+		Error:    r.Error,
+		Accesses: r.Accesses,
+		UnixMS:   r.UnixMS,
+	})
+}
+
 // Append writes one record and fsyncs. The record is durable when Append
 // returns nil.
 func (j *Journal) Append(rec journalRecord) error {
