@@ -12,6 +12,7 @@
 //	benchcore                   1M accesses, append to BENCH_core.json
 //	benchcore -n 100000         quicker run (CI smoke uses this)
 //	benchcore -shards 4         also bench the set-sharded driver (RMW)
+//	benchcore -scale 1,2,4,8    shard-scaling sweep instead (identity-checked)
 //	benchcore -out /tmp/b.json  append elsewhere
 //	benchcore -cpuprofile p.out profile the whole run
 //
@@ -25,11 +26,33 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"cache8t/internal/prof"
 	"cache8t/internal/regress"
 	"cache8t/internal/report"
 )
+
+// parseScale splits a comma-separated shard-count list ("1,2,4,8").
+func parseScale(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q in -scale (want positive integers)", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-scale is empty")
+	}
+	return counts, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +62,7 @@ func main() {
 	n := flag.Int("n", 1_000_000, "accesses to replay per mode")
 	seed := flag.Uint64("seed", def.Seed, "workload seed")
 	shards := flag.Int("shards", 0, "also bench the set-sharded driver with this many shards")
+	scale := flag.String("scale", "", "comma-separated shard counts: run a scaling sweep instead (e.g. 1,2,4,8)")
 	out := flag.String("out", "BENCH_core.json", "throughput trajectory file to append to")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -63,6 +87,30 @@ func main() {
 	opts.Seed = *seed
 	opts.Shards = *shards
 	opts.Context = ctx
+
+	if *scale != "" {
+		counts, err := parseScale(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entry, err := regress.ShardScale(opts, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := regress.AppendShardScale(*out, entry); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchcore: appended shard-scale sweep to %s (%s/%s, n=%d, gomaxprocs=%d, num_cpu=%d)\n",
+			*out, entry.Workload, entry.Controller, entry.N, entry.GoMaxProcs, entry.NumCPU)
+		fmt.Printf("benchcore: streamed baseline %.0f acc/s\n", entry.StreamedAccPS)
+		for _, p := range entry.Points {
+			fmt.Printf("benchcore:   %d shard(s): %.0f acc/s (%.3fx over streamed)\n", p.Shards, p.AccPS, p.Ratio)
+		}
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	entry, err := regress.CoreBench(opts)
 	if err != nil {

@@ -17,6 +17,7 @@
 //	sramd -journal-dir /var/lib/sramd      # durable jobs: survive a kill -9
 //	sramd -checkpoint-every 4              # denser mid-job checkpoints
 //	sramd -coordinator -peers http://a:8344,http://b:8344   # sweep coordinator
+//	sramd -pprof                           # mount /debug/pprof/ (off by default)
 //	sramd -version
 //
 // Result caching is on by default (memory tier only; add -cache-dir for a
@@ -58,6 +59,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -94,6 +96,7 @@ func run() error {
 		noCache     = flag.Bool("no-cache", false, "disable result caching: every job simulates")
 		journalDir  = flag.String("journal-dir", "", "directory for the durable job journal: jobs survive a daemon kill (default: off)")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "with -journal-dir, checkpoint running jobs every N batches (0 = journal only, no checkpoints)")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (profiling; keep off on untrusted networks)")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 
 		coordinator  = flag.Bool("coordinator", false, "serve the sweep-coordinator API instead of the worker job API")
@@ -201,6 +204,19 @@ func run() error {
 		}
 		handler = srv.Handler()
 		shutdown = srv.Shutdown
+	}
+	if *withPprof {
+		// Wrap rather than mutate: the API handler (worker or coordinator)
+		// keeps owning everything except the profiling prefix.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("profiling: net/http/pprof mounted at /debug/pprof/")
 	}
 	hs := &http.Server{Handler: handler}
 

@@ -77,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -321,6 +322,8 @@ func runLoad(ctx context.Context, c *client, spec server.JobSpec, clients, jobs 
 		GitSHA:     report.GitSHA(),
 		UnixMS:     time.Now().UnixMilli(),
 		Mode:       "serve_load",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Clients:    clients,
 		Jobs:       jobs,
 		Workload:   spec.Workload,
@@ -400,6 +403,8 @@ func runRepeat(ctx context.Context, c *client, spec server.JobSpec, k int) (load
 		GitSHA:        report.GitSHA(),
 		UnixMS:        time.Now().UnixMilli(),
 		Mode:          "rescache",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Clients:       1,
 		Jobs:          k,
 		Workload:      spec.Workload,
@@ -983,6 +988,8 @@ func runFleet(ctx context.Context, bin string, n int, controller, workload strin
 		GitSHA:     report.GitSHA(),
 		UnixMS:     time.Now().UnixMilli(),
 		Mode:       "coord_fleet",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Clients:    n,
 		Jobs:       st.Points,
 		Workload:   workload,
@@ -1024,16 +1031,20 @@ func metricAtLeast(metrics []byte, name string, minVal float64) error {
 // loadEntry is one appended record of service throughput in the
 // BENCH_core.json ledger (heterogeneous entries; see regress.AppendLedger).
 type loadEntry struct {
-	Schema         int     `json:"schema"`
-	GitSHA         string  `json:"git_sha"`
-	UnixMS         int64   `json:"unix_ms"`
-	Mode           string  `json:"mode"`
-	Clients        int     `json:"clients"`
-	Jobs           int     `json:"jobs"`
-	Workload       string  `json:"workload"`
-	Controller     string  `json:"controller"`
-	N              int     `json:"n"`
-	Shards         int     `json:"shards,omitempty"`
+	Schema     int    `json:"schema"`
+	GitSHA     string `json:"git_sha"`
+	UnixMS     int64  `json:"unix_ms"`
+	Mode       string `json:"mode"`
+	Clients    int    `json:"clients"`
+	Jobs       int    `json:"jobs"`
+	Workload   string `json:"workload"`
+	Controller string `json:"controller"`
+	N          int    `json:"n"`
+	Shards     int    `json:"shards,omitempty"`
+	// GoMaxProcs and NumCPU record the parallelism available to the run;
+	// entries appended before these fields existed decode with both at 0.
+	GoMaxProcs     int     `json:"gomaxprocs,omitempty"`
+	NumCPU         int     `json:"num_cpu,omitempty"`
 	P50MS          float64 `json:"p50_ms"`
 	P95MS          float64 `json:"p95_ms"`
 	P99MS          float64 `json:"p99_ms"`

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,7 +20,11 @@ import (
 // K shards, replaying each shard's accesses (in stream order) through its
 // own controller instance, and summing the per-shard Results therefore
 // reproduces the serial Result exactly; RunSharded does that with one shard
-// per goroutine, fed from a single decode of the trace via trace.Broadcast.
+// per goroutine, fed from a single decode of the trace via
+// trace.RouteBroadcast: the decoder routes each batch once, splitting it
+// into per-shard structure-of-arrays slabs, so every shard iterates only its
+// own accesses — contiguously, with no per-access ownership branch — and the
+// total routing work is one pass over the stream instead of one per shard.
 //
 // Cross-set-state controllers (the WG family's global Set-Buffer, the
 // coalescer's pending-write window) and the Random replacement policy (one
@@ -140,26 +145,28 @@ func newShardRun(kind Kind, cfg cache.Config, opts Options, k int) (*shardRun, e
 	return r, nil
 }
 
-// run broadcasts s to one goroutine per shard and joins them. The context is
-// polled once per batch per shard; a decode failure surfaces as *StreamError
-// carrying how many accesses were simulated cleanly across all shards.
+// run routes s across one goroutine per shard and joins them. The context
+// is polled once per delivered slab per shard; a decode failure surfaces as
+// *StreamError carrying how many accesses were simulated cleanly across all
+// shards, and a block-straddling access aborts the routing pass with
+// *ShardCrossSetError.
 func (r *shardRun) run(ctx context.Context, s trace.Stream, max, batchSize int) error {
 	if max > 0 {
 		s = trace.NewLimit(s, uint64(max))
 	}
-	bc := trace.NewBroadcast(s, batchSizeFor(max, batchSize), len(r.ctrls), 0)
+	bc := trace.NewRouteBroadcast(s, r.routeBatch, batchSizeFor(max, batchSize), len(r.ctrls), 0)
 	errs := make([]error, len(r.ctrls))
 	var wg sync.WaitGroup
 	for i := range r.ctrls {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = r.consume(ctx, bc.Sub(i), i)
+			errs[i] = r.consume(ctx, bc.Shard(i), i)
 		}(i)
 	}
 	wg.Wait()
-	// Consumers have been joined, so stopping any still-open subscriptions
-	// (there are none on the happy path) is safe and frees the decoder.
+	// Consumers have been joined, so stopping any still-open feeds (there
+	// are none on the happy path) is safe and frees the decoder.
 	bc.Stop()
 	for _, err := range errs {
 		if err != nil {
@@ -167,6 +174,15 @@ func (r *shardRun) run(ctx context.Context, s trace.Stream, max, batchSize int) 
 		}
 	}
 	if err := bc.Err(); err != nil {
+		var re *trace.RouteError
+		if errors.As(err, &re) {
+			// The routing pass met a block-straddling access: its spill
+			// bytes belong to a set on another shard, so set-locality does
+			// not hold for it and the run aborts rather than silently
+			// diverging from serial. (The bundled generators emit
+			// size-aligned accesses, which can never straddle.)
+			return &ShardCrossSetError{Access: re.Access, Set: r.geom.SetIndex(re.Access.Addr)}
+		}
 		var total uint64
 		for _, n := range r.fed {
 			total += n
@@ -176,42 +192,52 @@ func (r *shardRun) run(ctx context.Context, s trace.Stream, max, batchSize int) 
 	return nil
 }
 
-// consume replays shard i's slice of the broadcast: every batch is scanned
-// and only accesses routed to i are simulated. The scan is the routing cost
-// of filter-at-consumer fan-out — a shift and a slice load per access,
-// running in parallel on every shard, against a serial partitioning stage
-// that would bottleneck on the decoder thread.
-func (r *shardRun) consume(ctx context.Context, sub *trace.Subscription, i int) error {
-	ctrl := r.ctrls[i]
+// routeBatch is the trace.RouteFunc of one sharded run: a single pass over
+// each decoded batch computes every access's set once and assigns it to the
+// owning shard. Block-straddling accesses (spilling into the next set,
+// owned by another shard) are refused with a negative shard, which aborts
+// the broadcast. Running on the decoder goroutine, this pass overlaps with
+// the shards' controller work on multi-core hosts — and replaces the old
+// filter-at-consumer scheme where all K shards re-scanned every batch.
+func (r *shardRun) routeBatch(batch []trace.Access, dst []int32) {
 	g := r.geom
+	block := uint64(g.BlockBytes)
+	offMask := block - 1
+	for i := range batch {
+		a := &batch[i]
+		if (a.Addr&offMask)+uint64(a.Size) > block {
+			dst[i] = -1
+			continue
+		}
+		dst[i] = int32(r.route[g.SetIndex(a.Addr)])
+	}
+}
+
+// consume replays shard i's pre-routed slabs: every access delivered is
+// already known to belong to this shard, so the loop is nothing but
+// contiguous column reads and the controller call.
+func (r *shardRun) consume(ctx context.Context, feed *trace.ShardFeed, i int) error {
+	ctrl := r.ctrls[i]
 	for {
 		if err := ctx.Err(); err != nil {
-			sub.Stop()
+			feed.Stop()
 			return err
 		}
-		batch, ok := sub.Next()
+		cols, ok := feed.Next()
 		if !ok {
 			return nil
 		}
-		for j := range batch {
-			a := batch[j]
-			set := g.SetIndex(a.Addr)
-			if r.route[set] != i {
-				continue
-			}
-			if g.BlockOffset(a.Addr)+int(a.Size) > g.BlockBytes {
-				// A block-straddling access spills into the next block —
-				// a different set, owned by another shard. Its bytes cannot
-				// be simulated consistently on either side, so the run
-				// aborts rather than silently diverging from serial. (The
-				// bundled generators emit size-aligned accesses, which can
-				// never straddle.)
-				sub.Stop()
-				return &ShardCrossSetError{Access: a, Set: set}
-			}
-			ctrl.Access(a)
-			r.fed[i]++
+		n := cols.Len()
+		for j := 0; j < n; j++ {
+			ctrl.Access(trace.Access{
+				Addr: cols.Addr[j],
+				Data: cols.Data[j],
+				Gap:  cols.Gap[j],
+				Size: cols.Size[j],
+				Kind: cols.Op[j],
+			})
 		}
+		r.fed[i] += uint64(n)
 	}
 }
 

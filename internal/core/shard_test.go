@@ -155,6 +155,39 @@ func TestShardedRandomPartitionProperty(t *testing.T) {
 	}
 }
 
+func TestShardedZeroSetShardIdentity(t *testing.T) {
+	// A route may leave a shard owning zero sets (the routed fan-out then
+	// never delivers it a slab). Its empty Result must still merge cleanly
+	// and the aggregate must equal serial.
+	stream := randomStream(17, 5000, 8192)
+	for _, k := range setLocalKinds(t) {
+		serial, err := RunStream(k, smallCfg(), Options{}, trace.FromSlice(stream), 0, 0)
+		if err != nil {
+			t.Fatalf("%v serial: %v", k, err)
+		}
+		const shards = 4
+		r, err := newShardRun(k, smallCfg(), Options{}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shard 3 owns nothing; the rest split the sets round-robin.
+		for set := range r.route {
+			r.route[set] = set % (shards - 1)
+		}
+		if err := r.run(context.Background(), trace.FromSlice(stream), 0, 256); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		merged, err := r.finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, fmt.Sprintf("%v zero-set shard", k), merged, serial)
+		if r.fed[3] != 0 {
+			t.Errorf("%v: zero-set shard simulated %d accesses, want 0", k, r.fed[3])
+		}
+	}
+}
+
 func TestShardedFallbackIdentity(t *testing.T) {
 	// Cross-set-state controllers must fall back to the serial driver and
 	// produce exactly the serial result.

@@ -1,0 +1,172 @@
+package regress
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// oldLedger is the shape BENCH_core.json held before CoreBenchEntry grew the
+// gomaxprocs/num_cpu fields — the two entries below are verbatim copies of
+// the committed records. TestLedgerDecodes pins that the ledger stays
+// backward-readable: old entries decode (with the new fields zero, meaning
+// "unrecorded") and appending a new-schema entry never strips their fields.
+const oldLedger = `[
+  {
+    "batch_size": 4096,
+    "controller": "WG",
+    "git_sha": "unknown",
+    "materialized_accesses_per_sec": 4999091.690035379,
+    "materialized_wall_ms": 200.036339,
+    "n": 1000000,
+    "ratio": 1.3992843541036266,
+    "schema": 1,
+    "streamed_accesses_per_sec": 6995150.786595962,
+    "streamed_wall_ms": 142.956175,
+    "unix_ms": 1785991948505,
+    "workload": "bzip2"
+  },
+  {
+    "batch_size": 4096,
+    "controller": "RMW",
+    "git_sha": "1ee3bbbac06c9c1fc53d27bd209aace6141c9044-dirty",
+    "materialized_accesses_per_sec": 6160174.225989971,
+    "materialized_wall_ms": 162.333071,
+    "n": 1000000,
+    "ratio": 1.3485603180146297,
+    "schema": 1,
+    "sharded_accesses_per_sec": 6915954.984353309,
+    "sharded_ratio": 0.832508710593433,
+    "sharded_wall_ms": 144.59319100000002,
+    "shards": 4,
+    "streamed_accesses_per_sec": 8307366.513226561,
+    "streamed_wall_ms": 120.375091,
+    "unix_ms": 1785994330838,
+    "workload": "bzip2"
+  }
+]`
+
+func TestLedgerDecodes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_core.json")
+	if err := os.WriteFile(path, []byte(oldLedger), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Appending a new-schema entry must carry the old ones through untouched.
+	entry := CoreBenchEntry{
+		Schema: 1, GitSHA: "new", Workload: "bzip2", Controller: "WG",
+		N: 10, BatchSize: 4096, GoMaxProcs: 4, NumCPU: 8,
+		MaterializedWallMS: 1, StreamedWallMS: 1, Ratio: 1,
+	}
+	if err := AppendCoreBench(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"sharded_ratio"`, `"sharded_wall_ms"`, `"1ee3bbbac06c9c1fc53d27bd209aace6141c9044-dirty"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("append stripped %s from the pre-existing entries", field)
+		}
+	}
+
+	var entries []CoreBenchEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		t.Fatalf("ledger not decodable as []CoreBenchEntry: %v\n%s", err, b)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(entries))
+	}
+	// Old entries predate the cpu-topology fields: both decode to zero.
+	for i, e := range entries[:2] {
+		if e.GoMaxProcs != 0 || e.NumCPU != 0 {
+			t.Errorf("old entry %d: gomaxprocs=%d num_cpu=%d, want 0/0 (unrecorded)", i, e.GoMaxProcs, e.NumCPU)
+		}
+	}
+	if entries[1].ShardedRatio == 0 || entries[1].Shards != 4 {
+		t.Errorf("old sharded entry lost fields: %+v", entries[1])
+	}
+	if entries[2].GoMaxProcs != 4 || entries[2].NumCPU != 8 {
+		t.Errorf("new entry: gomaxprocs=%d num_cpu=%d, want 4/8", entries[2].GoMaxProcs, entries[2].NumCPU)
+	}
+}
+
+func TestCoreBenchRecordsCPUTopology(t *testing.T) {
+	opts := DefaultOptions()
+	opts.N = 2000
+	opts.Context = context.Background()
+	e, err := CoreBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("GoMaxProcs = %d, want %d", e.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if e.NumCPU != runtime.NumCPU() {
+		t.Errorf("NumCPU = %d, want %d", e.NumCPU, runtime.NumCPU())
+	}
+}
+
+func TestShardScaleSweep(t *testing.T) {
+	opts := DefaultOptions()
+	opts.N = 5000
+	opts.Context = context.Background()
+	counts := []int{1, 2, 4}
+	e, err := ShardScale(opts, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bench != "shard_scale" {
+		t.Errorf("Bench = %q, want shard_scale", e.Bench)
+	}
+	if e.Controller != "RMW" {
+		t.Errorf("Controller = %q, want RMW (set-local sharding)", e.Controller)
+	}
+	if e.GoMaxProcs != runtime.GOMAXPROCS(0) || e.NumCPU != runtime.NumCPU() {
+		t.Errorf("topology = %d/%d, want %d/%d", e.GoMaxProcs, e.NumCPU, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if e.StreamedWallMS <= 0 || e.StreamedAccPS <= 0 {
+		t.Errorf("baseline not measured: wall=%v accps=%v", e.StreamedWallMS, e.StreamedAccPS)
+	}
+	if len(e.Points) != len(counts) {
+		t.Fatalf("got %d points, want %d", len(e.Points), len(counts))
+	}
+	for i, p := range e.Points {
+		if p.Shards != counts[i] {
+			t.Errorf("point %d: shards = %d, want %d", i, p.Shards, counts[i])
+		}
+		if p.WallMS <= 0 || p.AccPS <= 0 || p.Ratio <= 0 {
+			t.Errorf("point %d not measured: %+v", i, p)
+		}
+	}
+
+	// Scale entries share the ledger with CoreBench entries; both shapes
+	// must survive side by side.
+	path := filepath.Join(t.TempDir(), "bench_core.json")
+	if err := AppendShardScale(path, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendCoreBench(path, CoreBenchEntry{Schema: 1, GitSHA: "x", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil || len(raw) != 2 {
+		t.Fatalf("ledger holds %d entries (err %v), want 2", len(raw), err)
+	}
+	var back ShardScaleEntry
+	if err := json.Unmarshal(raw[0], &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "shard_scale" || len(back.Points) != len(counts) {
+		t.Errorf("round-tripped scale entry = %+v", back)
+	}
+}

@@ -27,16 +27,76 @@ type ErrStream interface {
 	Err() error
 }
 
-// Batcher adapts any Stream into a sequence of reusable fixed-size batches.
-// The slice returned by Next aliases the Batcher's single internal buffer:
-// it is valid only until the next Next call and must not be retained or
-// mutated. Batchers are single-use and not safe for concurrent callers.
-type Batcher struct {
+// decoder is the single-buffer decode core shared by Batcher and the
+// broadcast fan-outs: one batch of the source at a time, through the
+// fastest path the source supports — a zero-copy subslice view for
+// in-memory slices, a native ReadBatch for binary readers, a per-access
+// Next loop for everything else.
+type decoder struct {
 	src   Stream
 	fast  BatchSource  // non-nil when src decodes batches natively
 	slice *SliceStream // non-nil when src is an in-memory slice: zero-copy
 	size  int
 	buf   []Access // allocated lazily; slice sources never need it
+}
+
+// newDecoder classifies src and fixes the batch length (size <= 0 means
+// DefaultBatchSize).
+func newDecoder(src Stream, size int) decoder {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	d := decoder{src: src, size: size}
+	switch s := src.(type) {
+	case *SliceStream:
+		d.slice = s
+	case BatchSource:
+		d.fast = s
+	}
+	return d
+}
+
+// next returns the next batch: a subslice of the backing array for slice
+// sources, otherwise the refilled internal buffer. An empty batch means the
+// source is exhausted or errored (check err). The returned slice is valid
+// only until the next call.
+func (d *decoder) next() []Access {
+	if d.slice != nil {
+		return d.slice.nextBatch(d.size)
+	}
+	if d.buf == nil {
+		d.buf = make([]Access, d.size)
+	}
+	var n int
+	if d.fast != nil {
+		n = d.fast.ReadBatch(d.buf)
+	} else {
+		for n < len(d.buf) {
+			a, ok := d.src.Next()
+			if !ok {
+				break
+			}
+			d.buf[n] = a
+			n++
+		}
+	}
+	return d.buf[:n]
+}
+
+// err surfaces the source's decode error, when the source tracks one.
+func (d *decoder) err() error {
+	if es, ok := d.src.(ErrStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// Batcher adapts any Stream into a sequence of reusable fixed-size batches.
+// The slice returned by Next aliases the Batcher's single internal buffer:
+// it is valid only until the next Next call and must not be retained or
+// mutated. Batchers are single-use and not safe for concurrent callers.
+type Batcher struct {
+	dec   decoder
 	count uint64
 }
 
@@ -45,52 +105,19 @@ type Batcher struct {
 // the backing array (no copy at all); for everything else a single batch
 // buffer is allocated on first use.
 func NewBatcher(src Stream, size int) *Batcher {
-	if size <= 0 {
-		size = DefaultBatchSize
-	}
-	b := &Batcher{src: src, size: size}
-	switch s := src.(type) {
-	case *SliceStream:
-		b.slice = s
-	case BatchSource:
-		b.fast = s
-	}
-	return b
+	return &Batcher{dec: newDecoder(src, size)}
 }
 
 // Next fills the internal buffer from the source and returns the filled
 // prefix. ok is false when the source is exhausted (or errored — check Err);
 // a final short batch is returned with ok true.
 func (b *Batcher) Next() ([]Access, bool) {
-	if b.slice != nil {
-		batch := b.slice.nextBatch(b.size)
-		if len(batch) == 0 {
-			return nil, false
-		}
-		b.count += uint64(len(batch))
-		return batch, true
-	}
-	if b.buf == nil {
-		b.buf = make([]Access, b.size)
-	}
-	var n int
-	if b.fast != nil {
-		n = b.fast.ReadBatch(b.buf)
-	} else {
-		for n < len(b.buf) {
-			a, ok := b.src.Next()
-			if !ok {
-				break
-			}
-			b.buf[n] = a
-			n++
-		}
-	}
-	if n == 0 {
+	batch := b.dec.next()
+	if len(batch) == 0 {
 		return nil, false
 	}
-	b.count += uint64(n)
-	return b.buf[:n], true
+	b.count += uint64(len(batch))
+	return batch, true
 }
 
 // Count returns the total number of accesses yielded so far.
@@ -99,12 +126,7 @@ func (b *Batcher) Count() uint64 { return b.count }
 // Err surfaces the source's decode error, when the source tracks one. A
 // Batcher over an error-free source (a generator, a slice) always returns
 // nil.
-func (b *Batcher) Err() error {
-	if es, ok := b.src.(ErrStream); ok {
-		return es.Err()
-	}
-	return nil
-}
+func (b *Batcher) Err() error { return b.dec.err() }
 
 // Drain pulls every remaining batch through fn. It stops on the first fn
 // error, and otherwise returns the source's decode error (nil for a clean

@@ -58,7 +58,7 @@ func TestBatcherUsesNativeBatchDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := NewBatcher(NewReader(&buf), 256)
-	if b.fast == nil {
+	if b.dec.fast == nil {
 		t.Fatal("Batcher over *Reader did not take the BatchSource fast path")
 	}
 	got := drainBatches(t, b, 256)

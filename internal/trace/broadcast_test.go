@@ -5,7 +5,9 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func broadcastAccesses(n int) []Access {
@@ -207,6 +209,72 @@ func TestBroadcastSteadyStateNoAlloc(t *testing.T) {
 	}); n > 0 {
 		t.Errorf("steady-state Next allocates %.1f times per batch, want 0", n)
 	}
+	b.Stop()
+}
+
+func TestBroadcastSlowSubscriberBackpressure(t *testing.T) {
+	// The slab pool bounds decoder read-ahead: with k slabs the decoder is at
+	// most k batches ahead of the slowest subscriber. The source counts what
+	// has been decoded, and the invariant below holds at every instant, so
+	// sampling it cannot flake.
+	const (
+		size  = 64
+		slabs = 2
+		total = 100_000
+	)
+	var produced atomic.Int64
+	src := Func(func() (Access, bool) {
+		n := produced.Add(1)
+		if n > total {
+			return Access{}, false
+		}
+		return Access{Addr: uint64(n), Size: 1}, true
+	})
+	b := NewBroadcast(src, size, 2, slabs)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// A fast subscriber does not loosen the bound: slabs recycle only
+		// when the *slowest* subscriber releases them.
+		defer wg.Done()
+		collect(b.Sub(1))
+	}()
+	sub := b.Sub(0)
+	consumed := 0
+	// In flight at most: every pool slab (filled or queued) plus the batch
+	// the decoder is blocked filling.
+	const bound = (slabs + 1) * size
+	for i := 0; i < 20; i++ {
+		batch, ok := sub.Next()
+		if !ok {
+			t.Fatal("stream ran dry during backpressure check")
+		}
+		consumed += len(batch)
+		time.Sleep(time.Millisecond) // let the decoder run as far as it can
+		if p := int(produced.Load()); p > consumed+bound {
+			t.Fatalf("decoder %d accesses ahead of slowest subscriber (produced %d, consumed %d), want <= %d",
+				p-consumed, p, consumed, bound)
+		}
+	}
+	sub.Stop()
+	wg.Wait()
+	b.Stop()
+}
+
+func TestBroadcastStopMidBatchRecycles(t *testing.T) {
+	// A subscriber stopping while it still holds a batch must release that
+	// slab back into circulation: the remaining subscriber needs every slab
+	// to finish a stream much longer than the pool.
+	want := broadcastAccesses(50_000)
+	const slabs = 2
+	b := NewBroadcast(FromSlice(want), 128, 2, slabs)
+	quitter := b.Sub(0)
+	if _, ok := quitter.Next(); !ok {
+		t.Fatal("quitter: stream ended early")
+	}
+	quitter.Stop() // cur still held: Stop must release it
+	got := collect(b.Sub(1))
+	wantSame(t, got, want, 1)
 	b.Stop()
 }
 

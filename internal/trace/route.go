@@ -1,0 +1,271 @@
+package trace
+
+// Route-once fan-out: where a Broadcast replicates every batch to every
+// subscriber (each consumer filtering for itself), a RouteBroadcast decodes
+// the source once and *partitions* it — a single routing pass over each
+// decoded batch assigns every access to exactly one shard and transposes it
+// onto that shard's structure-of-arrays slab (Cols). Consumers therefore
+// receive only their own accesses, already contiguous, with no per-access
+// ownership branch; total scan work across K shards is one pass over the
+// stream instead of K.
+//
+// Each shard owns a small ring of slabs: a delivery channel ("ring") and a
+// free list, with the slab population fixed at construction. The decoder
+// appends to a shard's open fill slab and publishes it only when full (or at
+// end of stream), so the handshake cost is one channel operation per *slab*,
+// amortized to one per batch across all shards — against the plain
+// Broadcast's one send per batch per subscriber plus a refcounted release
+// per batch per subscriber. Because every slab is owned by exactly one
+// consumer, no reference counting is needed at all.
+//
+// Lifecycle of one slab (per shard):
+//
+//  1. the decoder takes it from the shard's free list and resets it,
+//  2. the routing pass appends that shard's accesses until the slab fills,
+//  3. the full slab is sent on the shard's ring,
+//  4. the consumer reads it and releases it back to the free list on its
+//     next Next (or on Stop).
+//
+// The free list is the backpressure: a shard that stops consuming holds the
+// decoder up after at most ring-depth slabs of read-ahead, so memory stays
+// constant for arbitrarily long streams.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultRouteSlabs is the per-shard ring depth used when callers pass
+// slabs <= 0.
+const DefaultRouteSlabs = 4
+
+// RouteFunc assigns each access of a decoded batch to a shard: called once
+// per batch, it must fill dst[i] with the shard index owning batch[i], for
+// every i. A negative value aborts the stream at that access with a
+// *RouteError — how the set-shard router rejects accesses whose effects
+// would span shards (block-straddlers). Batch-at-a-time routing keeps the
+// indirect call off the per-access path and lets implementations scan the
+// batch with whatever locality they like.
+type RouteFunc func(batch []Access, dst []int32)
+
+// RouteError reports that the RouteFunc refused an access (returned a
+// negative shard). Accesses routed before it are still delivered.
+type RouteError struct {
+	// Access is the refused access.
+	Access Access
+}
+
+// Error implements error.
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("trace: access %v cannot be routed to a shard", e.Access)
+}
+
+// RouteBroadcast decodes src once and partitions it across per-shard slab
+// rings. Construction starts the decoder goroutine; every shard's feed must
+// either be drained to the end or stopped, or the free lists run dry and
+// the decoder stalls.
+type RouteBroadcast struct {
+	dec   decoder
+	route RouteFunc
+	dst   []int32 // per-batch shard assignment, reused across batches
+	feeds []*ShardFeed
+	quit  chan struct{} // closed when every feed has stopped early
+	done  chan struct{} // closed when the decoder goroutine exits
+	live  atomic.Int32  // feeds that have not stopped
+	err   error         // decode or route error; published by closing rings
+}
+
+// NewRouteBroadcast returns a running RouteBroadcast over src with shards
+// feeds, batch length size (<= 0 means DefaultBatchSize), and slabs ring
+// slots per shard (<= 0 means DefaultRouteSlabs). Slab capacity equals the
+// batch length, so even a shard owning the whole stream never overflows a
+// fill.
+func NewRouteBroadcast(src Stream, route RouteFunc, size, shards, slabs int) *RouteBroadcast {
+	if slabs <= 0 {
+		slabs = DefaultRouteSlabs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	b := &RouteBroadcast{
+		dec:   newDecoder(src, size),
+		route: route,
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	b.dst = make([]int32, b.dec.size)
+	b.feeds = make([]*ShardFeed, shards)
+	for i := range b.feeds {
+		f := &ShardFeed{
+			b:    b,
+			ring: make(chan *Cols, slabs),
+			free: make(chan *Cols, slabs),
+		}
+		for j := 0; j < slabs; j++ {
+			f.free <- NewCols(b.dec.size)
+		}
+		b.feeds[i] = f
+	}
+	b.live.Store(int32(shards))
+	go b.pump()
+	return b
+}
+
+// Shard returns shard i's feed. Each ShardFeed is single-consumer: exactly
+// one goroutine may call its methods.
+func (b *RouteBroadcast) Shard(i int) *ShardFeed { return b.feeds[i] }
+
+// Err surfaces the source's decode error, or the *RouteError that aborted
+// routing. Valid once every feed has returned ok == false; nil for a
+// cleanly exhausted source.
+func (b *RouteBroadcast) Err() error { return b.err }
+
+// Stop stops every feed that is still open and waits for the decoder
+// goroutine to finish: once Stop returns, the source is no longer being
+// read and may be closed. It must only be called once no other goroutine is
+// using the feeds (after joining the consumers).
+func (b *RouteBroadcast) Stop() {
+	for _, f := range b.feeds {
+		f.Stop()
+	}
+	<-b.done
+}
+
+// pump is the decode-and-route loop. Closing the rings (after b.err is set)
+// publishes end-of-stream, so consumers observing a closed ring also
+// observe the final err value.
+func (b *RouteBroadcast) pump() {
+	defer func() {
+		for _, f := range b.feeds {
+			close(f.ring)
+		}
+		close(b.done)
+	}()
+	for {
+		batch := b.dec.next()
+		if len(batch) == 0 {
+			b.flush()
+			b.err = b.dec.err()
+			return
+		}
+		dst := b.dst[:len(batch)]
+		b.route(batch, dst)
+		for i := range dst {
+			k := dst[i]
+			if k < 0 || int(k) >= len(b.feeds) {
+				// The router refused this access. Deliver what was routed
+				// before it, then abort the stream.
+				b.flush()
+				b.err = &RouteError{Access: batch[i]}
+				return
+			}
+			f := b.feeds[k]
+			if f.fill == nil && !f.acquire() {
+				return // every consumer stopped; nobody wants the rest
+			}
+			f.fill.Append(batch[i])
+			if f.fill.Full() {
+				f.publish()
+			}
+		}
+	}
+}
+
+// flush publishes every shard's partial fill slab.
+func (b *RouteBroadcast) flush() {
+	for _, f := range b.feeds {
+		if f.fill != nil && f.fill.Len() > 0 {
+			f.publish()
+		}
+	}
+}
+
+// ShardFeed is one shard's consumer side of a RouteBroadcast: a ring of
+// pre-routed slabs holding only that shard's accesses. The *Cols returned
+// by Next is valid until the next Next (or Stop) call and must be treated
+// as read-only — it is recycled through the shard's free list.
+type ShardFeed struct {
+	b    *RouteBroadcast
+	ring chan *Cols
+	free chan *Cols
+	fill *Cols // decoder-side open slab; consumers never touch it
+	cur  *Cols // consumer-side slab being read
+	done bool
+}
+
+// acquire blocks until a free slab is available (returning true) or the
+// broadcast is quitting because every consumer stopped (false). Called only
+// by the decoder. It cannot deadlock: a stopped feed has a drainer
+// recycling its ring into its free list, and quit closes only once every
+// feed has stopped.
+func (f *ShardFeed) acquire() bool {
+	select {
+	case s := <-f.free:
+		s.Reset()
+		f.fill = s
+		return true
+	case <-f.b.quit:
+		return false
+	}
+}
+
+// publish hands the open fill slab to the consumer. It never blocks: the
+// ring's capacity equals the shard's total slab population.
+func (f *ShardFeed) publish() {
+	f.ring <- f.fill
+	f.fill = nil
+}
+
+// Next releases the previous slab and returns the next one. ok is false
+// when the stream is exhausted, errored (check the RouteBroadcast's Err),
+// or the feed was stopped.
+func (f *ShardFeed) Next() (*Cols, bool) {
+	f.releaseCur()
+	if f.done {
+		return nil, false
+	}
+	sl, ok := <-f.ring
+	if !ok {
+		f.done = true
+		return nil, false
+	}
+	f.cur = sl
+	return sl, true
+}
+
+// Err surfaces the broadcast's error; valid once Next has returned
+// ok == false.
+func (f *ShardFeed) Err() error { return f.b.err }
+
+// Stop abandons the feed early: the current slab is released and a drainer
+// keeps the ring flowing (recycling every remaining slab) so the decoder
+// never stalls on this shard's free list. Once every feed is stopped the
+// decoder exits without decoding the rest of the stream. Stop is
+// idempotent; a cleanly exhausted feed ignores it. Like Next, it may only
+// be called by the consuming goroutine (or after that goroutine has been
+// joined).
+func (f *ShardFeed) Stop() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.releaseCur()
+	go func() {
+		for sl := range f.ring {
+			f.free <- sl
+		}
+	}()
+	if f.b.live.Add(-1) == 0 {
+		close(f.b.quit)
+	}
+}
+
+// releaseCur recycles the consumer's current slab. The send never blocks:
+// the free list's capacity equals the shard's total slab population.
+func (f *ShardFeed) releaseCur() {
+	if f.cur != nil {
+		sl := f.cur
+		f.cur = nil
+		f.free <- sl
+	}
+}

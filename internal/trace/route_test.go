@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// modRoute routes by address modulo shards — every access to exactly one
+// shard, deterministically.
+func modRoute(shards int) RouteFunc {
+	return func(batch []Access, dst []int32) {
+		for i := range batch {
+			dst[i] = int32((batch[i].Addr >> 3) % uint64(shards))
+		}
+	}
+}
+
+// drainFeed collects every access a feed delivers, copying out of the
+// recycled slabs.
+func drainFeed(f *ShardFeed) []Access {
+	var got []Access
+	for {
+		cols, ok := f.Next()
+		if !ok {
+			return got
+		}
+		got = cols.Accesses(got)
+	}
+}
+
+// fanOutRouted drains every shard concurrently and returns what each saw.
+func fanOutRouted(b *RouteBroadcast, shards int) [][]Access {
+	got := make([][]Access, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = drainFeed(b.Shard(i))
+		}(i)
+	}
+	wg.Wait()
+	return got
+}
+
+// wantPartition checks that each shard saw exactly its own subsequence of
+// want, in stream order.
+func wantPartition(t *testing.T, got [][]Access, want []Access, route func(Access) int) {
+	t.Helper()
+	idx := make([]int, len(got))
+	for _, a := range want {
+		k := route(a)
+		if idx[k] >= len(got[k]) {
+			t.Fatalf("shard %d: ran out at access %v (saw %d)", k, a, len(got[k]))
+		}
+		if got[k][idx[k]] != a {
+			t.Fatalf("shard %d: access %d = %v, want %v", k, idx[k], got[k][idx[k]], a)
+		}
+		idx[k]++
+	}
+	for k := range got {
+		if idx[k] != len(got[k]) {
+			t.Fatalf("shard %d: saw %d accesses, want %d", k, len(got[k]), idx[k])
+		}
+	}
+}
+
+func TestRouteBroadcastPartitionSlice(t *testing.T) {
+	want := broadcastAccesses(10_000)
+	const shards = 4
+	b := NewRouteBroadcast(FromSlice(want), modRoute(shards), 256, shards, 0)
+	got := fanOutRouted(b, shards)
+	wantPartition(t, got, want, func(a Access) int { return int((a.Addr >> 3) % shards) })
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestRouteBroadcastPartitionBatchSource(t *testing.T) {
+	want := broadcastAccesses(5_000)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(want), 0); err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	b := NewRouteBroadcast(NewReader(bytes.NewReader(buf.Bytes())), modRoute(shards), 128, shards, 2)
+	got := fanOutRouted(b, shards)
+	wantPartition(t, got, want, func(a Access) int { return int((a.Addr >> 3) % shards) })
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestRouteBroadcastPartitionGenericStream(t *testing.T) {
+	want := broadcastAccesses(3_000)
+	const shards = 2
+	// Limit wraps the slice in a plain Stream, forcing the per-access Next
+	// fill path.
+	b := NewRouteBroadcast(NewLimit(FromSlice(want), uint64(len(want))), modRoute(shards), 100, shards, 0)
+	got := fanOutRouted(b, shards)
+	wantPartition(t, got, want, func(a Access) int { return int((a.Addr >> 3) % shards) })
+}
+
+func TestRouteBroadcastShardOwnsNothing(t *testing.T) {
+	// Route-filtered fan-out where one shard owns zero of the address space:
+	// its feed must close promptly with zero deliveries while the others
+	// split the whole stream.
+	want := broadcastAccesses(4_000)
+	const shards = 3
+	route := func(batch []Access, dst []int32) {
+		for i := range batch {
+			dst[i] = int32((batch[i].Addr >> 3) % 2) // shard 2 never named
+		}
+	}
+	b := NewRouteBroadcast(FromSlice(want), route, 128, shards, 0)
+	got := fanOutRouted(b, shards)
+	if len(got[2]) != 0 {
+		t.Fatalf("unrouted shard saw %d accesses, want 0", len(got[2]))
+	}
+	if len(got[0])+len(got[1]) != len(want) {
+		t.Fatalf("shards 0+1 saw %d accesses, want %d", len(got[0])+len(got[1]), len(want))
+	}
+	wantPartition(t, got[:2], want, func(a Access) int { return int((a.Addr >> 3) % 2) })
+}
+
+func TestRouteBroadcastRouteErrorAborts(t *testing.T) {
+	want := broadcastAccesses(1_000)
+	const refuseAt = 437
+	route := func(batch []Access, dst []int32) {
+		for i := range batch {
+			if batch[i].Addr == want[refuseAt].Addr {
+				dst[i] = -1
+				continue
+			}
+			dst[i] = 0
+		}
+	}
+	b := NewRouteBroadcast(FromSlice(want), route, 64, 2, 0)
+	got := fanOutRouted(b, 2)
+	var re *RouteError
+	if err := b.Err(); !errors.As(err, &re) {
+		t.Fatalf("Err() = %v, want *RouteError", err)
+	}
+	if re.Access != want[refuseAt] {
+		t.Fatalf("RouteError.Access = %v, want %v", re.Access, want[refuseAt])
+	}
+	// Everything routed before the refusal is still delivered (flushed), and
+	// nothing at or past it.
+	if len(got[0]) != refuseAt {
+		t.Fatalf("shard 0 saw %d accesses, want the %d before the refusal", len(got[0]), refuseAt)
+	}
+}
+
+func TestRouteBroadcastDecodeError(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, FromSlice(broadcastAccesses(2_000)), 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	const shards = 2
+	b := NewRouteBroadcast(NewReader(bytes.NewReader(full[:len(full)-1])), modRoute(shards), 64, shards, 0)
+	got := fanOutRouted(b, shards)
+	if err := b.Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Err() = %v, want ErrUnexpectedEOF", err)
+	}
+	for i := 0; i < shards; i++ {
+		if err := b.Shard(i).Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("shard %d Err() = %v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+	// The decoded prefix is still partitioned correctly.
+	if len(got[0])+len(got[1]) == 0 {
+		t.Fatal("no prefix delivered before the decode error")
+	}
+}
+
+func TestRouteBroadcastEarlyStopOneShard(t *testing.T) {
+	// One shard abandons mid-stream while holding a slab; the others must
+	// still see their full partition and the decoder must not stall.
+	want := broadcastAccesses(20_000)
+	const shards = 3
+	b := NewRouteBroadcast(FromSlice(want), modRoute(shards), 128, shards, 0)
+	got := make([][]Access, shards)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f := b.Shard(0)
+		if cols, ok := f.Next(); !ok || cols.Len() == 0 {
+			t.Error("shard 0: no first slab")
+		}
+		// Stop while cur is still held — mid-batch abandonment.
+		f.Stop()
+		f.Stop() // idempotent
+	}()
+	for i := 1; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = drainFeed(b.Shard(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < shards; i++ {
+		var mine []Access
+		for _, a := range want {
+			if int((a.Addr>>3)%shards) == i {
+				mine = append(mine, a)
+			}
+		}
+		if len(got[i]) != len(mine) {
+			t.Fatalf("shard %d saw %d accesses, want %d", i, len(got[i]), len(mine))
+		}
+		for j := range mine {
+			if got[i][j] != mine[j] {
+				t.Fatalf("shard %d access %d = %v, want %v", i, j, got[i][j], mine[j])
+			}
+		}
+	}
+}
+
+func TestRouteBroadcastAllStopEarly(t *testing.T) {
+	src := FromSlice(broadcastAccesses(1 << 20))
+	const shards = 2
+	b := NewRouteBroadcast(src, modRoute(shards), 64, shards, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := b.Shard(i)
+			f.Next()
+			f.Stop()
+		}(i)
+	}
+	wg.Wait()
+	b.Stop()
+	if src.pos == len(src.accesses) {
+		t.Error("decoder drained the whole stream despite every shard stopping")
+	}
+}
+
+func TestRouteBroadcastBackpressure(t *testing.T) {
+	// The per-shard slab ring bounds decoder read-ahead: a slow consumer
+	// holds the decoder up once the free list runs dry. The source counts
+	// what has been decoded, and the invariant below must hold at every
+	// instant, so sampling it cannot flake.
+	const (
+		size  = 64
+		slabs = 2
+		total = 100_000
+	)
+	var produced atomic.Int64
+	src := Func(func() (Access, bool) {
+		n := produced.Add(1)
+		if n > total {
+			return Access{}, false
+		}
+		return Access{Addr: uint64(n), Size: 1}, true
+	})
+	b := NewRouteBroadcast(src, modRoute(1), size, 1, slabs)
+	f := b.Shard(0)
+	consumed := 0
+	// In flight at most: the decoder's AoS batch being routed, the open fill
+	// slab, every slab in the ring, and the consumer's current slab.
+	const bound = (slabs + 3) * size
+	for i := 0; i < 20; i++ {
+		cols, ok := f.Next()
+		if !ok {
+			t.Fatal("stream ran dry during backpressure check")
+		}
+		consumed += cols.Len()
+		time.Sleep(time.Millisecond) // let the decoder run as far as it can
+		if p := int(produced.Load()); p > consumed+bound {
+			t.Fatalf("decoder %d accesses ahead of consumer (produced %d, consumed %d), want <= %d",
+				p-consumed, p, consumed, bound)
+		}
+	}
+	f.Stop()
+	b.Stop()
+}
+
+func TestRouteBroadcastSteadyStateNoAlloc(t *testing.T) {
+	// Slabs circulate decoder → consumer → free list and the routing pass
+	// reuses its dst buffer: once the rings are primed, consuming the rest
+	// of the stream allocates nothing on any goroutine.
+	want := broadcastAccesses(512 * 200)
+	b := NewRouteBroadcast(FromSlice(want), modRoute(2), 512, 2, 0)
+	f0, f1 := b.Shard(0), b.Shard(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drainFeed(f1)
+	}()
+	if _, ok := f0.Next(); !ok {
+		t.Fatal("no first slab")
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, ok := f0.Next(); !ok {
+			t.Fatal("stream ran dry mid-measurement")
+		}
+	}); n > 0 {
+		t.Errorf("steady-state Next allocates %.1f times per slab, want 0", n)
+	}
+	f0.Stop()
+	wg.Wait()
+	b.Stop()
+}
+
+func TestRouteBroadcastEmptySource(t *testing.T) {
+	b := NewRouteBroadcast(FromSlice(nil), modRoute(2), 64, 2, 0)
+	for i, got := range fanOutRouted(b, 2) {
+		if len(got) != 0 {
+			t.Fatalf("shard %d saw %d accesses from empty source", i, len(got))
+		}
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}

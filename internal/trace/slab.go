@@ -1,0 +1,94 @@
+package trace
+
+// Structure-of-arrays batch slabs. A Cols holds one batch of accesses as
+// five parallel column arrays instead of a []Access: the set-shard router
+// reads only the address column, scans stay contiguous per field, and a
+// pre-routed slab hands a consumer exactly its own accesses with no
+// per-access ownership branch. Cols is the payload the RouteBroadcast rings
+// circulate; like the AoS slabs of Broadcast, a fixed population of them is
+// recycled decoder → consumer → free list, so steady state allocates
+// nothing.
+
+// Cols is one batch of accesses in structure-of-arrays form. The five
+// columns are parallel: index i of each describes the same access. All
+// columns always have equal length. Consumers must treat a delivered Cols
+// as read-only — it is recycled into the producer's free list on release.
+type Cols struct {
+	// Addr is the byte-address column — all the router ever scans.
+	Addr []uint64
+	// Data is the value column (read or written, up to 8 bytes).
+	Data []uint64
+	// Gap is the preceding non-memory-instruction count column.
+	Gap []uint32
+	// Size is the access-width column (1, 2, 4, or 8 bytes).
+	Size []uint8
+	// Op is the read/write column.
+	Op []Kind
+}
+
+// NewCols returns an empty Cols with every column pre-sized to hold
+// capacity accesses, so Append never reallocates until the slab is full.
+func NewCols(capacity int) *Cols {
+	return &Cols{
+		Addr: make([]uint64, 0, capacity),
+		Data: make([]uint64, 0, capacity),
+		Gap:  make([]uint32, 0, capacity),
+		Size: make([]uint8, 0, capacity),
+		Op:   make([]Kind, 0, capacity),
+	}
+}
+
+// Len returns the number of accesses held.
+func (c *Cols) Len() int { return len(c.Addr) }
+
+// Cap returns the slab capacity in accesses.
+func (c *Cols) Cap() int { return cap(c.Addr) }
+
+// Full reports whether Append would grow the columns past their
+// pre-sized capacity.
+func (c *Cols) Full() bool { return len(c.Addr) == cap(c.Addr) }
+
+// Reset empties the slab, keeping the column capacity for reuse.
+func (c *Cols) Reset() {
+	c.Addr = c.Addr[:0]
+	c.Data = c.Data[:0]
+	c.Gap = c.Gap[:0]
+	c.Size = c.Size[:0]
+	c.Op = c.Op[:0]
+}
+
+// Append transposes one access onto the columns.
+func (c *Cols) Append(a Access) {
+	c.Addr = append(c.Addr, a.Addr)
+	c.Data = append(c.Data, a.Data)
+	c.Gap = append(c.Gap, a.Gap)
+	c.Size = append(c.Size, a.Size)
+	c.Op = append(c.Op, a.Kind)
+}
+
+// AppendBatch transposes a whole AoS batch onto the columns.
+func (c *Cols) AppendBatch(batch []Access) {
+	for i := range batch {
+		c.Append(batch[i])
+	}
+}
+
+// At reassembles access i from the columns.
+func (c *Cols) At(i int) Access {
+	return Access{
+		Addr: c.Addr[i],
+		Data: c.Data[i],
+		Gap:  c.Gap[i],
+		Size: c.Size[i],
+		Kind: c.Op[i],
+	}
+}
+
+// Accesses appends every held access to dst (allocating only when dst lacks
+// capacity) and returns it — the AoS escape hatch for tests and tools.
+func (c *Cols) Accesses(dst []Access) []Access {
+	for i := 0; i < c.Len(); i++ {
+		dst = append(dst, c.At(i))
+	}
+	return dst
+}

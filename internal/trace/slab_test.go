@@ -1,0 +1,68 @@
+package trace
+
+import "testing"
+
+func TestColsRoundTrip(t *testing.T) {
+	in := sampleAccesses(300)
+	c := NewCols(512)
+	c.AppendBatch(in)
+	if c.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(in))
+	}
+	for i := range in {
+		if got := c.At(i); got != in[i] {
+			t.Fatalf("At(%d) = %v, want %v", i, got, in[i])
+		}
+	}
+	back := c.Accesses(nil)
+	if len(back) != len(in) {
+		t.Fatalf("Accesses returned %d, want %d", len(back), len(in))
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("Accesses[%d] = %v, want %v", i, back[i], in[i])
+		}
+	}
+}
+
+func TestColsColumnsStayParallel(t *testing.T) {
+	c := NewCols(4)
+	c.Append(Access{Addr: 1, Data: 2, Gap: 3, Size: 4, Kind: Write})
+	c.Append(Access{Addr: 5, Kind: Read})
+	for _, n := range []int{len(c.Addr), len(c.Data), len(c.Gap), len(c.Size), len(c.Op)} {
+		if n != 2 {
+			t.Fatalf("column lengths diverged: %d/%d/%d/%d/%d",
+				len(c.Addr), len(c.Data), len(c.Gap), len(c.Size), len(c.Op))
+		}
+	}
+}
+
+func TestColsFullAndReset(t *testing.T) {
+	const capacity = 8
+	c := NewCols(capacity)
+	if c.Cap() != capacity {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		if c.Full() {
+			t.Fatalf("Full at %d/%d", i, capacity)
+		}
+		c.Append(Access{Addr: uint64(i)})
+	}
+	if !c.Full() {
+		t.Fatal("not Full at capacity")
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Full() {
+		t.Fatalf("after Reset: Len=%d Full=%v", c.Len(), c.Full())
+	}
+	// Reset keeps the pre-sized capacity: refilling must not allocate.
+	if n := testing.AllocsPerRun(20, func() {
+		c.Reset()
+		for i := 0; i < capacity; i++ {
+			c.Append(Access{Addr: uint64(i)})
+		}
+	}); n > 0 {
+		t.Errorf("refill after Reset allocates %.1f times, want 0", n)
+	}
+}
