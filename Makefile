@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-core bench-shard bench-scale check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke crash-smoke coord-smoke ci
+.PHONY: build test vet race bench bench-core bench-shard bench-scale bench-hier check fmt-check regress regress-shard golden-update fuzz-smoke serve-smoke serve-golden-update cache-smoke crash-smoke coord-smoke hier-smoke hier-golden-update ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ SCALE_N ?= 1000000
 SCALE_OUT ?= BENCH_core.json
 bench-scale:
 	$(GO) run ./cmd/benchcore -scale 1,2,4,8 -n $(SCALE_N) -out $(SCALE_OUT)
+
+# Two-level hierarchy throughput: the hier driver (WG L1 + bridge + RMW L2)
+# over the same trace materialized and streamed, identity-verified, appended
+# as a "hier"-tagged entry to BENCH_core.json.
+bench-hier:
+	$(GO) run ./cmd/benchcore -hier
 
 check: build vet race
 
@@ -122,4 +128,20 @@ coord-smoke:
 		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
 		$(GO) run ./cmd/sramload -coord-smoke -sramd "$$tmp/sramd"
 
-ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke crash-smoke coord-smoke fuzz-smoke
+# Multi-level gate: start sramd, submit a hierarchy job (WG L1 over the
+# default 256 KB RMW L2), verify the returned artifact byte-for-byte against
+# an in-process serial hierarchy run AND against golden/hier-serve.json,
+# then SIGTERM the daemon and require a clean exit.
+hier-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -hier-smoke -sramd "$$tmp/sramd"
+
+# Regenerate golden/hier-serve.json after an intentional change to the
+# hierarchy artifact (same review-and-commit policy as golden-update).
+hier-golden-update:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) build -o "$$tmp/sramd" ./cmd/sramd && \
+		$(GO) run ./cmd/sramload -hier-smoke -update -sramd "$$tmp/sramd"
+
+ci: build vet fmt-check race regress regress-shard serve-smoke cache-smoke crash-smoke coord-smoke hier-smoke fuzz-smoke

@@ -13,6 +13,7 @@
 //	benchcore -n 100000         quicker run (CI smoke uses this)
 //	benchcore -shards 4         also bench the set-sharded driver (RMW)
 //	benchcore -scale 1,2,4,8    shard-scaling sweep instead (identity-checked)
+//	benchcore -hier             two-level hierarchy driver instead (identity-checked)
 //	benchcore -out /tmp/b.json  append elsewhere
 //	benchcore -cpuprofile p.out profile the whole run
 //
@@ -63,6 +64,7 @@ func main() {
 	seed := flag.Uint64("seed", def.Seed, "workload seed")
 	shards := flag.Int("shards", 0, "also bench the set-sharded driver with this many shards")
 	scale := flag.String("scale", "", "comma-separated shard counts: run a scaling sweep instead (e.g. 1,2,4,8)")
+	hierMode := flag.Bool("hier", false, "bench the two-level hierarchy driver instead (WG L1 over an RMW L2)")
 	out := flag.String("out", "BENCH_core.json", "throughput trajectory file to append to")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -87,6 +89,24 @@ func main() {
 	opts.Seed = *seed
 	opts.Shards = *shards
 	opts.Context = ctx
+
+	if *hierMode {
+		entry, err := regress.HierBench(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := regress.AppendHierBench(*out, entry); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchcore: appended hier entry to %s: materialized %.0f acc/s, streamed %.0f acc/s (ratio %.3f, %s/%s→%s, n=%d, l2_visible=%d, gomaxprocs=%d, num_cpu=%d)\n",
+			*out, entry.MaterializedAccPS, entry.StreamedAccPS, entry.Ratio,
+			entry.Workload, entry.L1Controller, entry.L2Controller, entry.N, entry.L2Visible,
+			entry.GoMaxProcs, entry.NumCPU)
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *scale != "" {
 		counts, err := parseScale(*scale)

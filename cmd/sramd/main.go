@@ -16,7 +16,9 @@
 //	sramd -no-cache                        # disable result caching entirely
 //	sramd -journal-dir /var/lib/sramd      # durable jobs: survive a kill -9
 //	sramd -checkpoint-every 4              # denser mid-job checkpoints
+//	sramd -journal-retain 168h             # forget week-old finished jobs on restart
 //	sramd -coordinator -peers http://a:8344,http://b:8344   # sweep coordinator
+//	sramd -coordinator -probe-interval 5s  # active /healthz worker probing
 //	sramd -pprof                           # mount /debug/pprof/ (off by default)
 //	sramd -version
 //
@@ -96,6 +98,7 @@ func run() error {
 		noCache     = flag.Bool("no-cache", false, "disable result caching: every job simulates")
 		journalDir  = flag.String("journal-dir", "", "directory for the durable job journal: jobs survive a daemon kill (default: off)")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "with -journal-dir, checkpoint running jobs every N batches (0 = journal only, no checkpoints)")
+		jRetain     = flag.Duration("journal-retain", 0, "with -journal-dir, GC terminal jobs older than this window at startup compaction; live jobs are never aged out (0 = keep forever)")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (profiling; keep off on untrusted networks)")
 		showVersion = flag.Bool("version", false, "print version (git SHA + artifact schema) and exit")
 
@@ -106,6 +109,7 @@ func run() error {
 		pointRetries = flag.Int("point-retries", 0, "coordinator: dispatch attempts per point before the sweep fails (0 = 5)")
 		sweepRate    = flag.Float64("sweep-rate", 0, "coordinator: sweep submissions per second per client (0 = unlimited)")
 		sweepBurst   = flag.Int("sweep-burst", 0, "coordinator: per-client submission burst above -sweep-rate (0 = 4)")
+		probeEvery   = flag.Duration("probe-interval", 0, "coordinator: actively probe each worker's /healthz at this interval, feeding its circuit breaker (0 = off; health comes only from dispatches)")
 	)
 	flag.Parse()
 
@@ -178,6 +182,7 @@ func run() error {
 			PointAttempts:    *pointRetries,
 			SweepRate:        *sweepRate,
 			SweepBurst:       *sweepBurst,
+			ProbeInterval:    *probeEvery,
 			Cache:            cache,
 			JournalDir:       *journalDir,
 			Version:          report.GitSHA(),
@@ -198,6 +203,7 @@ func run() error {
 			Cache:           cache,
 			JournalDir:      *journalDir,
 			CheckpointEvery: *ckptEvery,
+			JournalRetain:   *jRetain,
 		})
 		if err != nil {
 			return err

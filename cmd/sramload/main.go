@@ -11,6 +11,7 @@
 //	sramload -smoke -sramd ./sramd-binary -update        # regenerate golden
 //	sramload -repeat 16 -sramd ./sramd-binary            # result-cache bench
 //	sramload -cache-smoke -sramd ./sramd-binary -cache-dir /tmp/cas  # CI cache gate
+//	sramload -hier-smoke -sramd ./sramd-binary           # CI two-level gate
 //	sramload -crash-smoke -sramd ./sramd-binary          # CI crash-recovery gate
 //	sramload -coord-smoke -sramd ./sramd-binary          # CI distributed-mode chaos gate
 //	sramload -fleet 3 -jobs 12 -sramd ./sramd-binary     # coordinated-sweep bench
@@ -35,6 +36,11 @@
 // second to arrive `cached: true` without entering the queue, require both
 // byte-identical to a local serial run and matching golden/serve.json, and
 // require /metrics to show exactly one miss and one memory-tier hit.
+//
+// Hier-smoke mode (-hier-smoke) is the CI gate for multi-level scenarios:
+// the same end-to-end pass as -smoke but with a hierarchy job (WG L1 over
+// the default 256 KB RMW L2), compared byte-for-byte against an in-process
+// serial hierarchy run and exactly against golden/hier-serve.json.
 //
 // Crash-smoke mode (-crash-smoke) is the CI gate for durability: start a
 // journaled daemon, submit the golden workload with per-batch
@@ -113,6 +119,7 @@ func run() error {
 		out         = flag.String("out", "BENCH_core.json", "throughput ledger to append the load entry to")
 		smoke       = flag.Bool("smoke", false, "run the CI smoke: one golden job, byte-identity + golden compare, clean shutdown")
 		cacheSmoke  = flag.Bool("cache-smoke", false, "run the result-cache CI smoke: golden job twice, second must be a cache hit")
+		hierSmoke   = flag.Bool("hier-smoke", false, "run the two-level CI smoke: one hierarchy job, byte-identity vs an in-process run + golden compare (default golden: golden/hier-serve.json)")
 		crashSmoke  = flag.Bool("crash-smoke", false, "run the crash-recovery CI smoke: kill -9 a daemon mid-job, restart, require the recovered artifact to match the golden")
 		coordSmoke  = flag.Bool("coord-smoke", false, "run the distributed-mode CI chaos smoke: 1 coordinator + 3 workers, kill -9 one worker mid-sweep, require redispatch and a serial-identical merged ledger")
 		fleetSize   = flag.Int("fleet", 0, "spawn this many workers plus a coordinator and drive a sweep through the fleet, appending a coord_fleet entry to -out")
@@ -181,7 +188,7 @@ func run() error {
 	var daemonArgs []string
 	if *cacheDir != "" {
 		daemonArgs = append(daemonArgs, "-cache-dir", *cacheDir)
-	} else if !*smoke && !*cacheSmoke && *repeat == 0 {
+	} else if !*smoke && !*cacheSmoke && !*hierSmoke && *repeat == 0 {
 		daemonArgs = append(daemonArgs, "-no-cache")
 	}
 
@@ -201,14 +208,27 @@ func run() error {
 	}
 	c := &client{base: base, hc: &http.Client{}}
 
-	if *smoke || *cacheSmoke {
-		smokeFn := runSmoke
+	if *smoke || *cacheSmoke || *hierSmoke {
+		smokeFn := func(ctx context.Context, c *client, goldenPath string, update bool) error {
+			return runSmoke(ctx, c, smokeSpec(), "serve-smoke", goldenPath, update)
+		}
+		gold := *goldenPath
 		if *cacheSmoke {
 			smokeFn = func(ctx context.Context, c *client, goldenPath string, _ bool) error {
 				return runCacheSmoke(ctx, c, goldenPath)
 			}
 		}
-		if err := smokeFn(ctx, c, *goldenPath, *update); err != nil {
+		if *hierSmoke {
+			// The hierarchy smoke pins its own golden; only redirect the
+			// default so an explicit -golden still wins.
+			if !flagSet("golden") {
+				gold = "golden/hier-serve.json"
+			}
+			smokeFn = func(ctx context.Context, c *client, goldenPath string, update bool) error {
+				return runSmoke(ctx, c, hierSmokeSpec(), "hier-smoke", goldenPath, update)
+			}
+		}
+		if err := smokeFn(ctx, c, gold, *update); err != nil {
 			return err
 		}
 		if daemon != nil {
@@ -438,14 +458,34 @@ func smokeSpec() server.JobSpec {
 	return s
 }
 
-// runSmoke gates the service end to end: submit, fetch, byte-identity vs a
-// local serial run, exact compare against the checked-in golden, and a
-// health/metrics sanity pass.
-func runSmoke(ctx context.Context, c *client, goldenPath string, update bool) error {
+// hierSmokeSpec is the two-level smoke job: a WG first level (the scheme
+// whose premature write-backs exercise the bridge's on-chip event path) over
+// the spec-defaulted 256 KB RMW second level.
+func hierSmokeSpec() server.JobSpec {
+	s := server.JobSpec{Controller: "wg", Workload: "bwaves", N: 50_000, Seed: 1, Hierarchy: true}
+	s.Normalize()
+	return s
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runSmoke gates the service end to end: submit spec, fetch, byte-identity
+// vs a local serial run, exact compare against the checked-in golden, and a
+// health/metrics sanity pass. name labels the gate in its output
+// ("serve-smoke", "hier-smoke").
+func runSmoke(ctx context.Context, c *client, spec server.JobSpec, name, goldenPath string, update bool) error {
 	if err := c.checkHealth(ctx); err != nil {
 		return err
 	}
-	spec := smokeSpec()
 	_, got, err := c.runJob(ctx, spec)
 	if err != nil {
 		return err
@@ -478,11 +518,11 @@ func runSmoke(ctx context.Context, c *client, goldenPath string, update bool) er
 	// exactly — the zero band.
 	diff := report.Compare(golden, gotArt, report.Bands{})
 	if !diff.OK() {
-		t := diff.Table(fmt.Sprintf("serve-smoke [DRIFT] vs %s", goldenPath), false)
+		t := diff.Table(fmt.Sprintf("%s [DRIFT] vs %s", name, goldenPath), false)
 		t.Render(os.Stderr)
 		return fmt.Errorf("artifact drifted from %s", goldenPath)
 	}
-	fmt.Printf("serve-smoke ok — artifact matches %s (%d metrics)\n", goldenPath, len(gotArt.Metrics))
+	fmt.Printf("%s ok — artifact matches %s (%d metrics)\n", name, goldenPath, len(gotArt.Metrics))
 
 	body, err := c.get(ctx, "/metrics")
 	if err != nil {

@@ -53,6 +53,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses()) / float64(s.Accesses())
 }
 
+// Listener observes the cache's externally visible block traffic: the fills
+// and write-backs a next level of the hierarchy would see. Both fire with
+// the block's base address; Writeback also carries the victim's data (valid
+// only for the duration of the call). Per-miss order is deterministic:
+// the victim's Writeback (if dirty) strictly precedes the Fill that evicted
+// it. Functional stats are unaffected by whether a listener is attached.
+type Listener interface {
+	Fill(blockAddr uint64)
+	Writeback(blockAddr uint64, data []byte)
+}
+
 // Config configures a Cache.
 type Config struct {
 	SizeBytes  int
@@ -82,11 +93,16 @@ type Cache struct {
 	// rand is the RNG shared by every set's Random replacement policy
 	// (unused by the deterministic policies). Retained so checkpointing can
 	// capture and restore its state.
-	rand    *rng.Xoshiro256
-	backing *mem.Memory
-	stats   Stats
-	noAlloc bool
+	rand     *rng.Xoshiro256
+	backing  *mem.Memory
+	stats    Stats
+	noAlloc  bool
+	listener Listener
 }
+
+// SetListener attaches (or, with nil, detaches) the block-traffic observer.
+// At most one listener is supported; internal/hier uses it to drive an L2.
+func (c *Cache) SetListener(l Listener) { c.listener = l }
 
 // New builds a cache over backing memory.
 func New(cfg Config, backing *mem.Memory) (*Cache, error) {
@@ -232,6 +248,9 @@ func (c *Cache) fill(set int, tag, base uint64) int {
 	l.Valid = true
 	l.Dirty = false
 	c.stats.Fills++
+	if c.listener != nil {
+		c.listener.Fill(base)
+	}
 	c.policies[set].Insert(way)
 	return way
 }
@@ -243,8 +262,12 @@ func (c *Cache) evict(set, way int) {
 		return
 	}
 	if l.Dirty {
-		c.backing.Write(c.lineBase(set, l.Tag), l.Data)
+		base := c.lineBase(set, l.Tag)
+		c.backing.Write(base, l.Data)
 		c.stats.Writebacks++
+		if c.listener != nil {
+			c.listener.Writeback(base, l.Data)
+		}
 	}
 	l.Valid = false
 	l.Dirty = false
@@ -404,14 +427,21 @@ func (c *Cache) FlushAll() {
 }
 
 // WritebackAll writes every dirty line back to memory, leaving lines valid.
+// Attached listeners see these write-backs too — a final drain is real
+// downstream traffic, and reporting it keeps the listener's ledger
+// consistent with Stats.Writebacks.
 func (c *Cache) WritebackAll() {
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			l := &c.sets[s][w]
 			if l.Valid && l.Dirty {
-				c.backing.Write(c.lineBase(s, l.Tag), l.Data)
+				base := c.lineBase(s, l.Tag)
+				c.backing.Write(base, l.Data)
 				l.Dirty = false
 				c.stats.Writebacks++
+				if c.listener != nil {
+					c.listener.Writeback(base, l.Data)
+				}
 			}
 		}
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// BreakerCooldown (defaults 3 / 2s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// ProbeInterval, when > 0, starts the active health prober: every
+	// interval each worker's /healthz is probed (each probe bounded by one
+	// interval) and the outcome feeds that worker's circuit breaker exactly
+	// like a dispatch outcome. 0 (the default) disables active probing;
+	// health then comes only from real dispatches.
+	ProbeInterval time.Duration
 	// SweepRate and SweepBurst configure the per-client submission token
 	// bucket (rate <= 0 disables limiting; default burst 4).
 	SweepRate  float64
@@ -146,6 +152,7 @@ type Coordinator struct {
 	baseCancel context.CancelFunc
 	accepting  atomic.Bool
 	sweepWG    sync.WaitGroup
+	proberWG   sync.WaitGroup
 
 	mu     sync.Mutex
 	sweeps map[string]*Sweep
@@ -192,6 +199,10 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		c.journal = j
 		c.recover(recs)
+	}
+	if cfg.ProbeInterval > 0 {
+		c.proberWG.Add(1)
+		go c.probeLoop()
 	}
 	return c, nil
 }
@@ -283,6 +294,7 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	c.baseCancel()
+	c.proberWG.Wait()
 	if c.journal != nil {
 		c.journal.Close()
 	}

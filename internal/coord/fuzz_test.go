@@ -16,6 +16,9 @@ func FuzzSweepSpec(f *testing.F) {
 	f.Add([]byte(`{"controllers":["conv"],"workloads":["bwaves"],"n":10,"sizes_kb":[32,64],"ways":[2,4],"block_bytes":[32,64],"buffer_depths":[1,2,4]}`))
 	f.Add([]byte(`{"controllers":["wgrb"],"workloads":["bwaves"],"n":100,"policy":"fifo","vdd":0.9,"freq_mhz":1000}`))
 	f.Add([]byte(`{"controllers":[""],"workloads":[""],"n":-1}`))
+	f.Add([]byte(`{"controllers":["rmw","wg","wgrb","ts"],"workloads":["bwaves"],"n":1000,"hierarchy":true}`))
+	f.Add([]byte(`{"controllers":["wg"],"workloads":["bwaves"],"n":100,"hierarchy":true,"l2":{"controller":"ts","cache":{"size_kb":512,"ways":16}}}`))
+	f.Add([]byte(`{"controllers":["wg"],"workloads":["bwaves"],"n":100,"l2":{"controller":"rmw"}}`))
 	f.Add([]byte(`{"controllers":["a","a"],"workloads":["b"],"n":1,"seeds":[0,0]}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"n":100} trailing`))

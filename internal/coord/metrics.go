@@ -23,6 +23,8 @@ type coordMetrics struct {
 	corruptArtifacts atomic.Int64 // fetched artifacts rejected by hash verification
 	rateLimited      atomic.Int64 // submissions bounced by the token bucket
 	breakerOpens     atomic.Int64 // worker breaker open transitions
+	probesOK         atomic.Int64 // active health probes that saw a 200
+	probesFailed     atomic.Int64 // active health probes that errored or timed out
 }
 
 // render writes the Prometheus exposition. workers and activeSweeps come
@@ -60,6 +62,10 @@ func (m *coordMetrics) render(w io.Writer, workers []WorkerStatus, activeSweeps 
 	fmt.Fprintf(w, "# TYPE coord_rate_limited_total counter\ncoord_rate_limited_total %d\n", m.rateLimited.Load())
 	fmt.Fprintf(w, "# HELP coord_breaker_opens_total Worker circuit-breaker open transitions.\n")
 	fmt.Fprintf(w, "# TYPE coord_breaker_opens_total counter\ncoord_breaker_opens_total %d\n", m.breakerOpens.Load())
+	fmt.Fprintf(w, "# HELP coord_probes_total Active /healthz probes by result.\n")
+	fmt.Fprintf(w, "# TYPE coord_probes_total counter\n")
+	fmt.Fprintf(w, "coord_probes_total{result=\"ok\"} %d\n", m.probesOK.Load())
+	fmt.Fprintf(w, "coord_probes_total{result=\"failed\"} %d\n", m.probesFailed.Load())
 
 	fmt.Fprintf(w, "# HELP coord_workers Registered workers by breaker state.\n")
 	fmt.Fprintf(w, "# TYPE coord_workers gauge\n")

@@ -60,6 +60,12 @@ type SweepSpec struct {
 	// VDD and FreqMHz set the operating point (defaults 1.0 V / 2000 MHz).
 	VDD     float64 `json:"vdd,omitempty"`
 	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	// Hierarchy makes every cell a two-level L1→L2 job; L2 (optional)
+	// configures the second level for every cell, with zero fields taking
+	// the single-job defaults. Scalar knobs, not axes — a sweep varies the
+	// L1 while the L2 stays fixed.
+	Hierarchy bool           `json:"hierarchy,omitempty"`
+	L2        *server.L2Spec `json:"l2,omitempty"`
 }
 
 // Point is one decomposed cell of the matrix: its deterministic position in
@@ -202,6 +208,9 @@ func (s SweepSpec) Validate() error {
 		}
 		seenSeeds[v] = true
 	}
+	if s.L2 != nil && !s.Hierarchy {
+		add("l2", "only valid with hierarchy: true")
+	}
 	if s.Points() < 0 {
 		add("", "matrix exceeds the %d-point cap; split the study into several sweeps", MaxPoints)
 	}
@@ -254,6 +263,16 @@ func (s SweepSpec) forEachCell(fn func(idx int, js server.JobSpec)) {
 									},
 									VDD:     s.VDD,
 									FreqMHz: s.FreqMHz,
+								}
+								if s.Hierarchy {
+									js.Hierarchy = true
+									if s.L2 != nil {
+										// Deep-copy per cell: Normalize fills the L2
+										// block size from the cell's L1 block, so
+										// cells must not share one L2Spec.
+										l2 := *s.L2
+										js.L2 = &l2
+									}
 								}
 								js.Normalize()
 								fn(idx, js)

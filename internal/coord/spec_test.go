@@ -159,3 +159,48 @@ func TestSweepHashIsCanonical(t *testing.T) {
 		t.Fatalf("Hash disagrees with report.Hash over Canonical %s: %v", canon, err)
 	}
 }
+
+// TestSweepHierarchyDecomposition pins the hierarchy knobs: every cell of a
+// hierarchy sweep is a valid two-level job, the L2 block defaults to each
+// cell's own L1 block size (so cells must not share one L2Spec), and a bare
+// l2 without hierarchy is rejected at the sweep level.
+func TestSweepHierarchyDecomposition(t *testing.T) {
+	spec, err := DecodeSweepSpec([]byte(
+		`{"controllers":["rmw","wg"],"workloads":["bwaves"],"n":100,"block_bytes":[32,64],"hierarchy":true,"l2":{"controller":"ts","cache":{"size_kb":512}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(points))
+	}
+	for _, p := range points {
+		js := p.Spec
+		if !js.Hierarchy || js.L2 == nil {
+			t.Fatalf("cell %d is not a hierarchy job: %+v", p.Index, js)
+		}
+		if js.L2.Controller != "ts" || js.L2.Cache.SizeKB != 512 {
+			t.Errorf("cell %d lost the sweep's L2 knobs: %+v", p.Index, js.L2)
+		}
+		if js.L2.Cache.BlockBytes != js.Cache.BlockBytes {
+			t.Errorf("cell %d: L2 block %d != cell L1 block %d",
+				p.Index, js.L2.Cache.BlockBytes, js.Cache.BlockBytes)
+		}
+	}
+	// Cells on different L1 block axes must have gotten different L2 blocks.
+	if points[0].Spec.L2.Cache.BlockBytes == points[1].Spec.L2.Cache.BlockBytes {
+		t.Error("cells share one L2 block size across the block axis — L2Spec was not deep-copied")
+	}
+
+	bad := spec
+	bad.Hierarchy = false
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "l2") {
+		t.Errorf("l2 without hierarchy accepted: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ const (
 	ckptExtraNone     uint8 = 0 // direct and RMW controllers are stateless beyond base
 	ckptExtraCoalesce uint8 = 1
 	ckptExtraWG       uint8 = 2
+	ckptExtraTS       uint8 = 3
 )
 
 // ErrBadCheckpoint wraps every decode failure: wrong magic, unknown
@@ -256,6 +257,9 @@ func (d *Driver) Snapshot(cfg cache.Config) ([]byte, error) {
 	switch ctrl := d.ctrl.(type) {
 	case *directController, *rmwController:
 		w.u8(ckptExtraNone)
+	case *tsController:
+		w.u8(ckptExtraTS)
+		w.u64(ctrl.specReads)
 	case *coalesceController:
 		w.u8(ckptExtraCoalesce)
 		w.bool(ctrl.pendingValid)
@@ -432,6 +436,11 @@ func ResumeDriver(blob []byte) (*Driver, cache.Config, uint64, error) {
 		if r.err == nil && extra != ckptExtraNone {
 			return fail(fmt.Errorf("%w: unexpected state section %d for %v", ErrBadCheckpoint, extra, kind))
 		}
+	case *tsController:
+		if r.err == nil && extra != ckptExtraTS {
+			return fail(fmt.Errorf("%w: unexpected state section %d for %v", ErrBadCheckpoint, extra, kind))
+		}
+		ctrl.specReads = r.u64()
 	case *coalesceController:
 		if r.err == nil && extra != ckptExtraCoalesce {
 			return fail(fmt.Errorf("%w: unexpected state section %d for %v", ErrBadCheckpoint, extra, kind))

@@ -43,6 +43,13 @@ const (
 	// Coalesce is a conventional block-granular coalescing write buffer in
 	// front of RMW — the A4 ablation isolating WG's set-granularity.
 	Coalesce
+	// KindTS is a timing-speculation controller modeled on TS Cache
+	// (arXiv:1904.11200): the rival low-voltage approach, where reads
+	// complete speculatively against aggressive timing and a deterministic
+	// mis-speculation model replays the offending read through the array.
+	// Writes take the plain RMW path, so KindTS sits on the same
+	// access-frequency axis as the paper's schemes.
+	KindTS
 )
 
 // String names the controller kind.
@@ -62,6 +69,8 @@ func (k Kind) String() string {
 		return "WG+RB"
 	case Coalesce:
 		return "Coalesce"
+	case KindTS:
+		return "TS"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -84,6 +93,8 @@ func ParseKind(name string) (Kind, error) {
 		return WGRB, nil
 	case "coalesce", "Coalesce":
 		return Coalesce, nil
+	case "ts", "TS":
+		return KindTS, nil
 	default:
 		return 0, fmt.Errorf("core: unknown controller %q", name)
 	}
@@ -91,7 +102,7 @@ func ParseKind(name string) (Kind, error) {
 
 // Kinds returns all controller kinds in presentation order.
 func Kinds() []Kind {
-	return []Kind{Conventional, RMW, LocalRMW, WordGranularity, Coalesce, WG, WGRB}
+	return []Kind{Conventional, RMW, LocalRMW, WordGranularity, Coalesce, WG, WGRB, KindTS}
 }
 
 // SetLocal reports whether this kind's controller factors across cache sets:
@@ -102,7 +113,9 @@ func Kinds() []Kind {
 // WordGranularity) and RMW (RMW, LocalRMW) controllers qualify; the WG
 // family's Set-Buffer and the coalescer's pending-write window carry global
 // cross-set state — which set is buffered next depends on the interleaving
-// of *all* sets' accesses — so they must run serially.
+// of *all* sets' accesses — so they must run serially. KindTS's replay
+// schedule counts reads globally (every R-th read mis-speculates regardless
+// of set), so it is not set-local either.
 func (k Kind) SetLocal() bool {
 	switch k {
 	case Conventional, WordGranularity, RMW, LocalRMW:
@@ -245,6 +258,8 @@ func New(kind Kind, c *cache.Cache, opts Options) (Controller, error) {
 		return &rmwController{base: base}, nil
 	case Coalesce:
 		return &coalesceController{base: base}, nil
+	case KindTS:
+		return &tsController{base: base}, nil
 	case WG, WGRB:
 		return newWGController(base)
 	default:
@@ -294,6 +309,13 @@ type base struct {
 }
 
 func (b *base) Kind() Kind { return b.kind }
+
+// PeekCounters returns a copy of the live event counters mid-run. Every
+// controller in this package exposes it via base; internal/hier diffs
+// successive peeks to attribute microarchitectural events (premature
+// Set-Buffer write-backs) to the access that caused them, since those never
+// reach backing memory and so never fire a cache.Listener.
+func (b *base) PeekCounters() Counters { return b.counters }
 
 // SetLocal implements the Controller capability from the kind's static
 // classification; every controller in this package shares it via base.

@@ -39,10 +39,35 @@ func PerAccessJ(r Report, accesses uint64) float64 {
 // rebuilt at the point's voltage; wall time comes from the timing model at
 // the point's frequency.
 func Evaluate(res core.Result, point sram.OperatingPoint, tp timing.Params) (Report, error) {
+	// No Vmin gate here: reachability is the caller's axis (Sweep and the
+	// DVFS experiments track it per cell and price unreachable points as a
+	// what-if), unlike EvaluateCell where the swapped cell makes the floor
+	// part of the question.
+	return evaluateConfig(res, res.Events.Config(), point, tp)
+}
+
+// EvaluateCell prices res as if the array were built from cell instead of
+// the cell it simulated with — the same event ledger repriced under a
+// different bit-cell energy profile (e.g. the near-threshold 9T variant,
+// arXiv:1812.10011). The event mix is cell-independent (controllers count
+// circuit phases, not joules), so swapping the cell here is exact, not an
+// approximation. Points below the cell's Vmin are rejected: they are
+// unreachable for that technology.
+func EvaluateCell(res core.Result, cell sram.CellKind, point sram.OperatingPoint, tp timing.Params) (Report, error) {
+	if point.VoltageV > 0 && point.VoltageV < cell.VminVolts() {
+		return Report{}, fmt.Errorf("energy: %.2f V is below the %s cell's Vmin %.2f V", point.VoltageV, cell, cell.VminVolts())
+	}
+	cfg := res.Events.Config()
+	cfg.Cell = cell
+	return evaluateConfig(res, cfg, point, tp)
+}
+
+// evaluateConfig is the shared pricing body behind Evaluate and EvaluateCell.
+func evaluateConfig(res core.Result, cfg sram.ArrayConfig, point sram.OperatingPoint, tp timing.Params) (Report, error) {
 	if point.VoltageV <= 0 || point.FreqMHz <= 0 {
 		return Report{}, fmt.Errorf("energy: invalid operating point %v", point)
 	}
-	em, err := sram.NewEnergyModel(res.Events.Config(), point.VoltageV)
+	em, err := sram.NewEnergyModel(cfg, point.VoltageV)
 	if err != nil {
 		return Report{}, err
 	}

@@ -140,3 +140,44 @@ func TestSweepMarksSixTWall(t *testing.T) {
 		t.Errorf("8T floor dynamic energy %.3e not below 6T floor %.3e", eightBest, sixBest)
 	}
 }
+
+func TestEvaluateCell(t *testing.T) {
+	res := runBench(t, core.WGRB, "bwaves", 40000)
+	tp := timing.DefaultParams()
+	base, err := Evaluate(res, nominal(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Repricing under the cell the run simulated with is exact identity.
+	same, err := EvaluateCell(res, sram.EightT, nominal(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Fatalf("EvaluateCell(8T) = %+v, want the Evaluate baseline %+v", same, base)
+	}
+
+	// The 9T reprice keeps the event ledger and trades dynamic for static:
+	// a heavier read bit line, roughly half the leakage.
+	nine, err := EvaluateCell(res, sram.NineT, nominal(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nine.DynamicJ <= base.DynamicJ {
+		t.Errorf("9T dynamic %.3e not above 8T %.3e", nine.DynamicJ, base.DynamicJ)
+	}
+	ratio := nine.LeakageJ / base.LeakageJ
+	if ratio < 0.50 || ratio > 0.60 {
+		t.Errorf("9T leakage ratio = %.3f, want ~0.55", ratio)
+	}
+
+	// The Vmin gate is per-cell: 0.30 V is reachable for 9T, not for 8T.
+	low := sram.OperatingPoint{VoltageV: 0.30, FreqMHz: 400}
+	if _, err := EvaluateCell(res, sram.NineT, low, tp); err != nil {
+		t.Errorf("9T rejected 0.30 V above its 0.28 V floor: %v", err)
+	}
+	if _, err := EvaluateCell(res, sram.EightT, low, tp); err == nil {
+		t.Error("8T accepted 0.30 V below its 0.35 V floor")
+	}
+}

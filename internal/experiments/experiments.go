@@ -104,6 +104,7 @@ func All() []Experiment {
 		{ID: "dvfs", Title: "§1 quantified: governed cache energy, 6T wall vs 8T floor", Run: DVFS},
 		{ID: "alloc", Title: "allocation-policy sensitivity (write-allocate vs write-around)", Run: Alloc},
 		{ID: "fills", Title: "counting-convention sensitivity: include miss traffic", Run: Fills},
+		{ID: "hier", Title: "two-level hierarchy: L2-visible traffic per L1 scheme", Run: Hier},
 		{ID: "ablation-silent", Title: "A1: WG with silent-write elision disabled", Run: AblationSilent},
 		{ID: "ablation-depth", Title: "A2: Set-Buffer depth sweep", Run: AblationDepth},
 		{ID: "ablation-related", Title: "A3: related-work comparison (RMW/LocalRMW/WordGranularity/WG+RB)", Run: AblationRelated},

@@ -53,8 +53,8 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("ByID(%q) failed: %v", e.ID, err)
 		}
 	}
-	if len(seen) != 20 {
-		t.Errorf("registry has %d experiments, want 20", len(seen))
+	if len(seen) != 21 {
+		t.Errorf("registry has %d experiments, want 21", len(seen))
 	}
 	if _, err := ByID("nope"); err == nil {
 		t.Error("unknown id accepted")

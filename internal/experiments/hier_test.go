@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"cache8t/internal/workload"
+)
+
+// TestHierMatrixFloor pins the two-level experiment's core claim on every
+// benchmark: the functional refill/write-back stream is identical across L1
+// schemes, so RMW and WG+RB share the L2-visible floor and plain WG sits
+// above it by exactly its premature write-backs.
+func TestHierMatrixFloor(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 20_000
+	rows, err := HierMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := workload.Profiles()
+	if len(rows) != len(profs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(profs))
+	}
+	var sawPremature bool
+	for i, row := range rows {
+		name := profs[i].Name
+		if len(row.Points) != len(HierKinds()) {
+			t.Fatalf("%s: got %d points, want %d", name, len(row.Points), len(HierKinds()))
+		}
+		rmw, wg, wgrb := row.Points[0], row.Points[1], row.Points[2]
+		for _, p := range row.Points {
+			if p.Refills != rmw.Refills || p.Writebacks != rmw.Writebacks {
+				t.Errorf("%s: functional stream diverged across kinds: %+v vs %+v", name, p, rmw)
+			}
+		}
+		if rmw.PrematureWBs != 0 || wgrb.PrematureWBs != 0 {
+			t.Errorf("%s: RMW/WGRB premature WBs %d/%d, want 0", name, rmw.PrematureWBs, wgrb.PrematureWBs)
+		}
+		if wg.L2Visible != rmw.L2Visible+wg.PrematureWBs {
+			t.Errorf("%s: WG L2-visible %d != floor %d + premature %d", name, wg.L2Visible, rmw.L2Visible, wg.PrematureWBs)
+		}
+		if wgrb.L2Visible != rmw.L2Visible {
+			t.Errorf("%s: WGRB L2-visible %d != RMW %d", name, wgrb.L2Visible, rmw.L2Visible)
+		}
+		if wg.PrematureWBs > 0 {
+			sawPremature = true
+		}
+	}
+	if !sawPremature {
+		t.Error("no benchmark produced premature write-backs; WG's delta is untested")
+	}
+}
+
+// TestHierTableShape checks the rendered experiment: 25 benchmark rows plus
+// the measured mean.
+func TestHierTableShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerBench = 5_000
+	tab, err := Hier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workload.Profiles()) + 1; len(tab.Rows) != want {
+		t.Fatalf("Hier has %d rows, want %d", len(tab.Rows), want)
+	}
+	row(t, tab, "MEAN (measured)")
+}

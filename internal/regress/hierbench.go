@@ -1,0 +1,148 @@
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cache8t/internal/cache"
+	"cache8t/internal/core"
+	"cache8t/internal/experiments"
+	"cache8t/internal/hier"
+	"cache8t/internal/report"
+	"cache8t/internal/trace"
+	"cache8t/internal/workload"
+)
+
+// HierBenchEntry is one appended record of two-level throughput: the
+// hierarchy driver (L1 controller + listener bridge + L2 controller) over
+// the same trace in materialized and streamed modes. The Bench tag
+// discriminates these records from plain CoreBench and ShardScale entries in
+// the shared BENCH_core.json ledger. Ratio is streamed/materialized
+// throughput, the same convention as CoreBenchEntry; L2Visible records the
+// run's downstream traffic so a trajectory of entries also tracks whether
+// the bridge's event volume moved.
+type HierBenchEntry struct {
+	Schema       int    `json:"schema"`
+	Bench        string `json:"bench"`
+	GitSHA       string `json:"git_sha"`
+	UnixMS       int64  `json:"unix_ms"`
+	Workload     string `json:"workload"`
+	L1Controller string `json:"l1_controller"`
+	L2Controller string `json:"l2_controller"`
+	N            int    `json:"n"`
+	BatchSize    int    `json:"batch_size"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+
+	MaterializedWallMS float64 `json:"materialized_wall_ms"`
+	MaterializedAccPS  float64 `json:"materialized_accesses_per_sec"`
+	StreamedWallMS     float64 `json:"streamed_wall_ms"`
+	StreamedAccPS      float64 `json:"streamed_accesses_per_sec"`
+	Ratio              float64 `json:"ratio"`
+
+	L2Visible uint64 `json:"l2_visible"`
+}
+
+// sameHierResult reports whether two hierarchy runs produced identical
+// observable results: both levels' full single-level results plus the event
+// stream totals connecting them.
+func sameHierResult(a, b hier.Result) bool {
+	return sameCoreResult(a.L1, b.L1) && sameCoreResult(a.L2, b.L2) && a.Traffic == b.Traffic
+}
+
+// bestOf3Hier is bestOf3 for the two-level driver.
+func bestOf3Hier(run func() (hier.Result, error)) (hier.Result, float64, error) {
+	var res hier.Result
+	bestWall := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		r, err := run()
+		wall := time.Since(start).Seconds() * 1e3
+		if err != nil {
+			return hier.Result{}, 0, err
+		}
+		if i == 0 || wall < bestWall {
+			bestWall = wall
+			res = r
+		}
+	}
+	return res, bestWall, nil
+}
+
+// HierBench measures the two-level hierarchy driver over one binary trace in
+// materialized and streamed modes, verifies the two runs are identical
+// (levels and traffic), and reports the throughput pair. The L1 is WG — the
+// scheme whose premature write-backs exercise the bridge's on-chip event
+// path — over the baseline shape, the L2 the default RMW second level.
+func HierBench(opts Options) (HierBenchEntry, error) {
+	cfg := hier.Config{
+		L1Kind: core.WG,
+		L1:     cache.DefaultConfig(),
+		L2Kind: core.RMW,
+		L2:     experiments.HierL2Shape(cache.DefaultConfig()),
+	}
+	prof := workload.Profiles()[0]
+	accs, err := workload.Take(prof, opts.Seed, opts.N)
+	if err != nil {
+		return HierBenchEntry{}, err
+	}
+	var enc bytes.Buffer
+	if _, err := trace.WriteAll(&enc, trace.FromSlice(accs), 0); err != nil {
+		return HierBenchEntry{}, err
+	}
+	data := enc.Bytes()
+
+	e := HierBenchEntry{
+		Schema:       report.SchemaVersion,
+		Bench:        "hier",
+		GitSHA:       report.GitSHA(),
+		UnixMS:       time.Now().UnixMilli(),
+		Workload:     prof.Name,
+		L1Controller: cfg.L1Kind.String(),
+		L2Controller: cfg.L2Kind.String(),
+		N:            opts.N,
+		BatchSize:    trace.DefaultBatchSize,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+	}
+
+	var matRes, strRes hier.Result
+	matRes, e.MaterializedWallMS, err = bestOf3Hier(func() (hier.Result, error) {
+		all, err := trace.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return hier.Result{}, err
+		}
+		return hier.RunContext(opts.ctx(), cfg, trace.FromSlice(all), 0, 0)
+	})
+	if err != nil {
+		return e, err
+	}
+	strRes, e.StreamedWallMS, err = bestOf3Hier(func() (hier.Result, error) {
+		return hier.RunContext(opts.ctx(), cfg, trace.NewReader(bytes.NewReader(data)), 0, 0)
+	})
+	if err != nil {
+		return e, err
+	}
+	if !sameHierResult(matRes, strRes) {
+		return e, fmt.Errorf("regress: streamed and materialized hierarchy runs diverged on %s/%s", prof.Name, cfg.L1Kind)
+	}
+	e.L2Visible = strRes.L2Visible()
+	if e.MaterializedWallMS > 0 {
+		e.MaterializedAccPS = float64(opts.N) / (e.MaterializedWallMS / 1e3)
+	}
+	if e.StreamedWallMS > 0 {
+		e.StreamedAccPS = float64(opts.N) / (e.StreamedWallMS / 1e3)
+	}
+	if e.MaterializedAccPS > 0 {
+		e.Ratio = e.StreamedAccPS / e.MaterializedAccPS
+	}
+	return e, nil
+}
+
+// AppendHierBench appends entry to the hot-path ledger at path; see
+// AppendLedger for the file discipline.
+func AppendHierBench(path string, entry HierBenchEntry) error {
+	return AppendLedger(path, entry)
+}

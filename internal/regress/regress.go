@@ -174,6 +174,12 @@ func Checks() []Check {
 			Bands: reductionBands,
 			Build: buildFig11,
 		},
+		{
+			ID:    "hier",
+			Title: "Two-level hierarchy — L2-visible traffic per L1 scheme, TS and 9T points",
+			Bands: hierBands,
+			Build: buildHier,
+		},
 	}
 }
 

@@ -28,6 +28,11 @@ func FuzzJobSpec(f *testing.F) {
 		`[1,2]`,
 		`{"controller":"wgrb","unknown":true}`,
 		`{"n":1,"n":2,"controller":"rmw"}`,
+		`{"controller":"wg","workload":"bwaves","n":1000,"hierarchy":true}`,
+		`{"controller":"ts","workload":"mcf","n":500,"hierarchy":true,"l2":{"controller":"wgrb","cache":{"size_kb":512,"ways":16,"block_bytes":64},"options":{"buffer_depth":2}}}`,
+		`{"controller":"rmw","workload":"gcc","n":10,"l2":{"controller":"rmw"}}`,
+		`{"controller":"rmw","workload":"gcc","n":10,"hierarchy":true,"shards":4}`,
+		`{"controller":"rmw","workload":"gcc","n":10,"hierarchy":true,"l2":{"cache":{"block_bytes":4}}}`,
 	} {
 		f.Add([]byte(seed))
 	}

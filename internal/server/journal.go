@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // The job journal makes the job table survive a process kill: every state
@@ -142,6 +143,24 @@ func compactRecords(recs []journalRecord) []journalRecord {
 	return out
 }
 
+// retainRecords applies the retention window to compacted records: terminal
+// records older than the window go, everything else stays, submission order
+// preserved.
+func retainRecords(recs []journalRecord, retain time.Duration, now time.Time) []journalRecord {
+	if retain <= 0 {
+		return recs
+	}
+	cutoff := now.Add(-retain).UnixMilli()
+	out := recs[:0]
+	for _, r := range recs {
+		if r.State.Terminal() && r.UnixMS != 0 && r.UnixMS < cutoff {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 // Journal is the crash-safe append log. Appends fsync before returning, so
 // an acknowledged transition survives kill -9; Open compacts on every start.
 type Journal struct {
@@ -158,6 +177,23 @@ type Journal struct {
 // compacts it in place, and returns the merged per-job records in
 // submission order.
 func OpenJournal(dir string) (*Journal, []journalRecord, error) {
+	return openJournal(dir, 0, time.Time{})
+}
+
+// OpenJournalRetain is OpenJournal with a retention window (ROADMAP 5c):
+// terminal records whose first-seen submit time is older than retain before
+// now are dropped during the open-time compaction — the GC point every
+// journal passes through — so ancient finished-job history stops accreting
+// across daemon lifetimes. Live (queued/running) records are never aged
+// out, whatever their age; neither are records that carry no timestamp.
+// retain <= 0 keeps everything, exactly like OpenJournal. Dropping a record
+// forgets only the job id: its artifact, if any, stays in the result cache
+// until the CAS evicts it on its own budget.
+func OpenJournalRetain(dir string, retain time.Duration, now time.Time) (*Journal, []journalRecord, error) {
+	return openJournal(dir, retain, now)
+}
+
+func openJournal(dir string, retain time.Duration, now time.Time) (*Journal, []journalRecord, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
@@ -166,7 +202,7 @@ func OpenJournal(dir string) (*Journal, []journalRecord, error) {
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	recs := compactRecords(decodeJournal(data))
+	recs := retainRecords(compactRecords(decodeJournal(data)), retain, now)
 	var buf []byte
 	for _, rec := range recs {
 		line, err := json.Marshal(rec)

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // rec is shorthand for building journal records in tests.
@@ -265,5 +266,26 @@ func TestAcquireDirLockUnwritable(t *testing.T) {
 		t.Fatal("acquire succeeded on a read-only directory")
 	} else if !strings.Contains(err.Error(), "not writable") {
 		t.Fatalf("unwritable error not descriptive: %v", err)
+	}
+}
+
+// TestRetainRecords pins the retention filter's edges: only terminal,
+// timestamped, out-of-window records are dropped; a zero window keeps all.
+func TestRetainRecords(t *testing.T) {
+	now := time.Unix(10_000, 0)
+	old := now.Add(-2 * time.Hour).UnixMilli()
+	fresh := now.Add(-time.Minute).UnixMilli()
+	recs := []journalRecord{
+		{V: 1, Job: "j-1", State: StateSucceeded, UnixMS: old}, // aged out
+		{V: 1, Job: "j-2", State: StateFailed, UnixMS: fresh},  // in window
+		{V: 1, Job: "j-3", State: StateRunning, UnixMS: old},   // live: kept
+		{V: 1, Job: "j-4", State: StateCancelled},              // no stamp: kept
+	}
+	got := retainRecords(append([]journalRecord(nil), recs...), time.Hour, now)
+	if len(got) != 3 || got[0].Job != "j-2" || got[1].Job != "j-3" || got[2].Job != "j-4" {
+		t.Fatalf("retainRecords kept %+v", got)
+	}
+	if got := retainRecords(append([]journalRecord(nil), recs...), 0, now); len(got) != len(recs) {
+		t.Fatalf("zero window dropped records: %+v", got)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cache8t/internal/rescache"
 )
@@ -344,5 +345,96 @@ func TestRecoveredResultGone(t *testing.T) {
 	code, b := ts.get("/v1/jobs/j-000003/result")
 	if code != http.StatusGone {
 		t.Fatalf("result of artifact-less recovered job: %d (want 410): %s", code, b)
+	}
+}
+
+// TestJournalRetentionPreservesLiveJobs pins the retention GC (ROADMAP 5c):
+// with JournalRetain set, a restart forgets terminal jobs older than the
+// window — they leave the job table and the compacted journal file — while
+// a live job of the same age is recovered and re-run, never aged out.
+func TestJournalRetentionPreservesLiveJobs(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	cdir := filepath.Join(dir, "cas")
+	const body = `{"controller":"rmw","workload":"bwaves","n":2000}`
+
+	cache1 := openTestCache(t, cdir)
+	ts1 := newTestServer(t, Config{Workers: 1, Cache: cache1, JournalDir: jdir})
+	stA := submitAccepted(ts1, body)
+	if fin := ts1.waitTerminal(stA.ID); fin.State != StateSucceeded {
+		t.Fatalf("job A ended %s: %s", fin.State, fin.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	if err := ts1.srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.hs.Close()
+	cache1.Close()
+
+	// Backdate every record past the retention window, and graft in a live
+	// (queued) job of the same age reusing job A's pinned spec: retention
+	// must drop the finished job and keep the live one.
+	path := filepath.Join(jdir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := compactRecords(decodeJournal(data))
+	if len(recs) != 1 || recs[0].SpecKey == "" || !recs[0].State.Terminal() {
+		t.Fatalf("journal did not compact to one finished job: %q", data)
+	}
+	old := time.Now().Add(-2 * time.Hour).UnixMilli()
+	live := recs[0]
+	live.Job = "j-000099"
+	live.State = StateQueued
+	live.Accesses = 0
+	live.Cached = false
+	recs = append(recs, live)
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		rec.UnixMS = old
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2 := openTestCache(t, cdir)
+	ts2 := newTestServer(t, Config{Workers: 1, Cache: cache2, JournalDir: jdir, JournalRetain: time.Hour})
+
+	code, b := ts2.get("/v1/jobs/" + stA.ID)
+	if code != http.StatusNotFound {
+		t.Fatalf("aged-out terminal job still served: %d: %s", code, b)
+	}
+	fin := ts2.waitTerminal("j-000099")
+	if fin.State != StateSucceeded || !fin.Recovered {
+		t.Fatalf("live job after retention restart: state %s recovered %v: %s", fin.State, fin.Recovered, fin.Error)
+	}
+	code, lst := ts2.get("/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d: %s", code, lst)
+	}
+	var jobs []JobStatus
+	if err := json.Unmarshal(lst, &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j-000099" {
+		t.Fatalf("job table after retention restart: %+v", jobs)
+	}
+
+	// The GC is durable: the compacted file no longer mentions the old job,
+	// so a later open without retention cannot resurrect it.
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), stA.ID) {
+		t.Fatalf("compacted journal still mentions the aged-out job:\n%s", data)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"cache8t/internal/core"
 	"cache8t/internal/energy"
+	"cache8t/internal/hier"
 	"cache8t/internal/report"
 	"cache8t/internal/sram"
 	"cache8t/internal/timing"
@@ -111,7 +112,7 @@ func RunSpecDurable(ctx context.Context, spec JobSpec, open func() (trace.Stream
 // cannot change results — the sharding and streaming equivalence tests pin
 // that — so a sharded daemon run and a serial local rerun hash identically.
 func ConfigMap(spec JobSpec, source string) map[string]string {
-	return map[string]string{
+	m := map[string]string{
 		"source":                  source,
 		"controller":              spec.Controller,
 		"n":                       fmt.Sprint(spec.N),
@@ -126,6 +127,41 @@ func ConfigMap(spec JobSpec, source string) map[string]string {
 		"vdd":                     fmt.Sprint(spec.VDD),
 		"freq_mhz":                fmt.Sprint(spec.FreqMHz),
 	}
+	// Hierarchy keys exist only on hierarchy jobs so every pre-existing
+	// single-level spec keeps its config hash (and its cached results).
+	if spec.Hierarchy && spec.L2 != nil {
+		m["hierarchy"] = "true"
+		m["l2_controller"] = spec.L2.Controller
+		m["l2_size_bytes"] = fmt.Sprint(spec.L2.Cache.SizeKB * 1024)
+		m["l2_ways"] = fmt.Sprint(spec.L2.Cache.Ways)
+		m["l2_block_bytes"] = fmt.Sprint(spec.L2.Cache.BlockBytes)
+		m["l2_policy"] = spec.L2.Cache.Policy
+		m["l2_buffer_depth"] = fmt.Sprint(spec.L2.Options.BufferDepth)
+		m["l2_silent_elision_disabled"] = fmt.Sprint(spec.L2.Options.DisableSilentElision)
+		m["l2_count_fill_traffic"] = fmt.Sprint(spec.L2.Options.CountFillTraffic)
+	}
+	return m
+}
+
+// RunHierSpec executes a validated hierarchy spec over the stream from open
+// and returns the two-level result. Hierarchy runs are serial — Validate
+// rejects shards > 1 — and poll ctx per batch like every other driver.
+func RunHierSpec(ctx context.Context, spec JobSpec, open func() (trace.Stream, error), wrap func(trace.Stream) trace.Stream) (hier.Result, error) {
+	cfg, err := spec.HierConfig()
+	if err != nil {
+		return hier.Result{}, err
+	}
+	if open == nil {
+		open = OpenSource(spec)
+	}
+	s, err := open()
+	if err != nil {
+		return hier.Result{}, err
+	}
+	if wrap != nil {
+		s = wrap(s)
+	}
+	return hier.RunContext(ctx, cfg, s, spec.N, spec.Batch)
 }
 
 // Artifact assembles the deterministic run artifact for a finished job: the
@@ -153,13 +189,56 @@ func Artifact(spec JobSpec, source string, res core.Result) *report.Artifact {
 	return art
 }
 
+// HierArtifact assembles the deterministic artifact for a finished hierarchy
+// job: both levels' full event ledgers (controller names prefixed "L1:" and
+// "L2:"), the merged traffic metrics, and per-level modeled scalars. Like
+// Artifact, only fully deterministic fields are set, so a daemon-fetched
+// hierarchy artifact is byte-identical to an in-process Execute of the same
+// spec.
+func HierArtifact(spec JobSpec, source string, res hier.Result) *report.Artifact {
+	art := report.New("sramd", spec.Seed)
+	art.Config = ConfigMap(spec, source)
+	l1 := report.Ledger(res.L1)
+	l1.Controller = "L1:" + l1.Controller
+	l2 := report.Ledger(res.L2)
+	l2.Controller = "L2:" + l2.Controller
+	art.Controllers = append(art.Controllers, l1, l2)
+
+	art.SetMetric("l1_accesses_per_request", res.L1.AccessesPerRequest())
+	art.SetMetric("l1_miss_rate", res.L1.Cache.MissRate())
+	art.SetMetric("l2_accesses_per_request", res.L2.AccessesPerRequest())
+	art.SetMetric("l2_miss_rate", res.L2.Cache.MissRate())
+	art.SetMetric("refills", float64(res.Traffic.Refills))
+	art.SetMetric("writebacks", float64(res.Traffic.Writebacks))
+	art.SetMetric("premature_wbs", float64(res.Traffic.PrematureWBs))
+	art.SetMetric("l2_visible", float64(res.L2Visible()))
+	art.SetMetric("l2_visible_per_request", res.L2VisiblePerRequest())
+	point := sram.OperatingPoint{VoltageV: spec.VDD, FreqMHz: spec.FreqMHz}
+	if erep, err := energy.Evaluate(res.L1, point, timing.DefaultParams()); err == nil {
+		art.SetMetric("l1_dynamic_j", erep.DynamicJ)
+		art.SetMetric("l1_leakage_j", erep.LeakageJ)
+	}
+	if erep, err := energy.Evaluate(res.L2, point, timing.DefaultParams()); err == nil {
+		art.SetMetric("l2_dynamic_j", erep.DynamicJ)
+		art.SetMetric("l2_leakage_j", erep.LeakageJ)
+	}
+	return art
+}
+
 // Execute is the in-process reference runner: it runs a validated spec to
 // completion and returns the encoded canonical artifact. The daemon's job
-// path and Execute share RunSpec and Artifact, so the bytes a client fetches
-// from `GET /v1/jobs/{id}/result` are identical to the bytes Execute
-// produces for the same spec and source — the end-to-end identity the smoke
-// test and cmd/sramload verify.
+// path and Execute share RunSpec/RunHierSpec and Artifact/HierArtifact, so
+// the bytes a client fetches from `GET /v1/jobs/{id}/result` are identical
+// to the bytes Execute produces for the same spec and source — the
+// end-to-end identity the smoke test and cmd/sramload verify.
 func Execute(ctx context.Context, spec JobSpec, source string, open func() (trace.Stream, error)) ([]byte, error) {
+	if spec.Hierarchy {
+		res, err := RunHierSpec(ctx, spec, open, nil)
+		if err != nil {
+			return nil, err
+		}
+		return report.Encode(HierArtifact(spec, source, res))
+	}
 	res, err := RunSpec(ctx, spec, open, nil)
 	if err != nil {
 		return nil, err

@@ -68,6 +68,13 @@ type Config struct {
 	// instead of re-simulating from access zero. DESIGN.md §12 documents the
 	// blob format and the byte-identity guarantee.
 	CheckpointEvery int
+	// JournalRetain, when positive and journaling is on, is the terminal-job
+	// retention window: on open, journal records of jobs that finished
+	// (succeeded/failed/cancelled) and were submitted more than this long ago
+	// are garbage-collected by the compaction pass, so restart forgets
+	// ancient history instead of replaying it forever. Live jobs are never
+	// aged out. 0 keeps terminal records until their journal is deleted.
+	JournalRetain time.Duration
 
 	// testWrapStream, when set (package tests only), interposes on every
 	// job's stream after the progress counter — the hook tests use to gate a
@@ -147,7 +154,7 @@ func New(cfg Config) (*Server, error) {
 		if cfg.Cache == nil || !cfg.Cache.HasDisk() {
 			return nil, errors.New("server: JournalDir requires a result cache with a disk tier")
 		}
-		journal, recs, err := OpenJournal(cfg.JournalDir)
+		journal, recs, err := OpenJournalRetain(cfg.JournalDir, cfg.JournalRetain, time.Now())
 		if err != nil {
 			return nil, err
 		}
@@ -416,6 +423,17 @@ func (s *Server) execute(ctx context.Context, j *Job) (*report.Artifact, error) 
 			out = s.cfg.testWrapStream(ctx, j, out)
 		}
 		return out
+	}
+	// Hierarchy jobs run the two-level driver. They are excluded from the
+	// checkpoint path below — the snapshot codec covers one controller and
+	// one cache, not an L1/L2 pair — so a recovered hierarchy job re-runs
+	// from access zero, which the determinism contract makes byte-identical.
+	if j.Spec.Hierarchy {
+		res, err := RunHierSpec(ctx, j.Spec, open, wrap)
+		if err != nil {
+			return nil, err
+		}
+		return HierArtifact(j.Spec, j.Source, res), nil
 	}
 	// Checkpointing rides the serial streaming driver, so sharded jobs (and
 	// servers without a journal) take the plain path. A recovered job looks

@@ -671,3 +671,88 @@ func TestJobTimeout(t *testing.T) {
 		t.Fatalf("timed-out job ended %s: %q", final.State, final.Error)
 	}
 }
+
+// TestHierarchyJobIdentity is the hierarchy acceptance contract: a hierarchy
+// spec submitted to the daemon returns an artifact byte-identical to an
+// in-process serial Execute of the same spec, with both levels' ledgers and
+// the merged traffic metrics inside.
+func TestHierarchyJobIdentity(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	body := `{"controller":"wg","workload":"bwaves","n":20000,"hierarchy":true,"l2":{"controller":"ts","cache":{"size_kb":512}}}`
+	st := ts.submitJob(body)
+	if fin := ts.waitTerminal(st.ID); fin.State != StateSucceeded {
+		t.Fatalf("hierarchy job ended %s: %q", fin.State, fin.Error)
+	}
+	code, blob := ts.get("/v1/jobs/" + st.ID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, blob)
+	}
+
+	spec, err := DecodeSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(context.Background(), spec, spec.Workload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("daemon hierarchy artifact differs from in-process Execute")
+	}
+
+	art, err := report.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Controllers) != 2 || art.Controllers[0].Controller != "L1:WG" || art.Controllers[1].Controller != "L2:TS" {
+		t.Fatalf("unexpected ledgers: %+v", art.Controllers)
+	}
+	for _, m := range []string{"l1_miss_rate", "l2_miss_rate", "refills", "writebacks", "premature_wbs", "l2_visible", "l2_visible_per_request"} {
+		if _, ok := art.Metrics[m]; !ok {
+			t.Errorf("artifact missing metric %q", m)
+		}
+	}
+	if art.Config["hierarchy"] != "true" || art.Config["l2_controller"] != "ts" {
+		t.Errorf("hierarchy config keys missing: %v", art.Config)
+	}
+	if art.Metrics["l2_visible"] != art.Metrics["refills"]+art.Metrics["writebacks"]+art.Metrics["premature_wbs"] {
+		t.Errorf("l2_visible %v is not the event-stream total", art.Metrics["l2_visible"])
+	}
+	if art.Metrics["premature_wbs"] == 0 {
+		t.Error("WG L1 reported zero premature write-backs")
+	}
+}
+
+// TestHierarchySpecRejections pins the hierarchy-specific validation: l2
+// without hierarchy, sharded hierarchy jobs, and bogus L2 fields all fail
+// with named field errors.
+func TestHierarchySpecRejections(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct{ body, field string }{
+		{`{"controller":"rmw","workload":"bwaves","n":100,"l2":{"controller":"rmw"}}`, "l2"},
+		{`{"controller":"rmw","workload":"bwaves","n":100,"hierarchy":true,"shards":4}`, "shards"},
+		{`{"controller":"rmw","workload":"bwaves","n":100,"hierarchy":true,"l2":{"controller":"bogus"}}`, "l2.controller"},
+		{`{"controller":"rmw","workload":"bwaves","n":100,"hierarchy":true,"l2":{"cache":{"ways":3}}}`, "l2.cache"},
+	} {
+		code, b := ts.submit(tc.body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: got %d: %s", tc.body, code, b)
+		}
+		var ae apiError
+		if err := json.Unmarshal(b, &ae); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range ae.Fields {
+			if f.Field == tc.field {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error on field %q: %+v", tc.body, tc.field, ae.Fields)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"cache8t/internal/cache"
 	"cache8t/internal/core"
+	"cache8t/internal/hier"
 	"cache8t/internal/report"
 	"cache8t/internal/workload"
 )
@@ -48,6 +49,25 @@ type JobSpec struct {
 	// (defaults 1.0 V / 2000 MHz).
 	VDD     float64 `json:"vdd,omitempty"`
 	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	// Hierarchy turns the job into a two-level run (internal/hier): the
+	// spec's Controller/Cache/Options describe the L1, and the L2 block the
+	// second level driven by the L1's refill/write-back stream. Hierarchy
+	// jobs run serially (Shards must be <= 1).
+	Hierarchy bool `json:"hierarchy,omitempty"`
+	// L2 configures the second level. Only valid — and only defaulted by
+	// Normalize — when Hierarchy is set.
+	L2 *L2Spec `json:"l2,omitempty"`
+}
+
+// L2Spec is the second-level portion of a hierarchy JobSpec.
+type L2Spec struct {
+	// Controller is the L2 scheme (core.ParseKind names; default rmw).
+	Controller string `json:"controller,omitempty"`
+	// Cache is the L2 shape; zero fields default to a 256 KB, 8-way cache
+	// with the L1's block size.
+	Cache CacheSpec `json:"cache"`
+	// Options are the L2 controller knobs.
+	Options OptionsSpec `json:"options"`
 }
 
 // CacheSpec is the cache geometry portion of a JobSpec.
@@ -128,6 +148,32 @@ func (s *JobSpec) Normalize() {
 	if s.FreqMHz == 0 {
 		s.FreqMHz = 2000
 	}
+	// The L2 block is defaulted only for hierarchy jobs: a bare `l2` on a
+	// single-level spec stays as submitted so Validate can name the
+	// inconsistency instead of papering over it.
+	if s.Hierarchy {
+		if s.L2 == nil {
+			s.L2 = &L2Spec{}
+		}
+		if s.L2.Controller == "" {
+			s.L2.Controller = "rmw"
+		}
+		if s.L2.Cache.SizeKB == 0 {
+			s.L2.Cache.SizeKB = 256
+		}
+		if s.L2.Cache.Ways == 0 {
+			s.L2.Cache.Ways = 8
+		}
+		if s.L2.Cache.BlockBytes == 0 {
+			s.L2.Cache.BlockBytes = s.Cache.BlockBytes
+		}
+		if s.L2.Cache.Policy == "" {
+			s.L2.Cache.Policy = "lru"
+		}
+		if s.L2.Options.BufferDepth == 0 {
+			s.L2.Options.BufferDepth = 1
+		}
+	}
 }
 
 // Validate checks every field and returns a *SpecError naming each failure.
@@ -141,7 +187,7 @@ func (s JobSpec) Validate(hasTrace bool) error {
 
 	kind, kindErr := core.ParseKind(s.Controller)
 	if s.Controller == "" {
-		add("controller", "required (one of conventional|rmw|localrmw|word|coalesce|wg|wgrb)")
+		add("controller", "required (one of conventional|rmw|localrmw|word|coalesce|wg|wgrb|ts)")
 	} else if kindErr != nil {
 		add("controller", "%v", kindErr)
 	}
@@ -182,9 +228,46 @@ func (s JobSpec) Validate(hasTrace bool) error {
 	if s.Options.BufferDepth < 0 {
 		add("options.buffer_depth", "must be >= 0")
 	}
+
+	switch {
+	case s.Hierarchy:
+		if s.L2 == nil {
+			add("l2", "required when hierarchy is set (Normalize fills the defaults)")
+			break
+		}
+		if s.L2.Controller == "" {
+			add("l2.controller", "required (one of conventional|rmw|localrmw|word|coalesce|wg|wgrb|ts)")
+		} else if _, err := core.ParseKind(s.L2.Controller); err != nil {
+			add("l2.controller", "%v", err)
+		}
+		if _, err := cache.ParsePolicy(s.L2.Cache.Policy); err != nil {
+			add("l2.cache.policy", "%v", err)
+		}
+		switch {
+		case s.L2.Cache.SizeKB < 0:
+			add("l2.cache.size_kb", "must be positive")
+		case s.L2.Cache.SizeKB > MaxCacheKB:
+			add("l2.cache.size_kb", "%d KB exceeds the service cap of %d KB", s.L2.Cache.SizeKB, MaxCacheKB)
+		default:
+			if _, err := cache.NewGeometry(s.L2.Cache.SizeKB*1024, s.L2.Cache.Ways, s.L2.Cache.BlockBytes); err != nil {
+				add("l2.cache", "%v", err)
+			}
+		}
+		if s.L2.Cache.BlockBytes != 0 && s.L2.Cache.BlockBytes < 8 {
+			add("l2.cache.block_bytes", "must be at least 8 (the synthesized L2 stream uses 8-byte words)")
+		}
+		if s.L2.Options.BufferDepth < 0 {
+			add("l2.options.buffer_depth", "must be >= 0")
+		}
+	case s.L2 != nil:
+		add("l2", "only valid on hierarchy jobs; set hierarchy: true or drop the block")
+	}
+
 	switch {
 	case s.Shards < 0:
 		add("shards", "must be >= 0")
+	case s.Shards > 1 && s.Hierarchy:
+		add("shards", "hierarchy jobs are serial: the L1 listener drives the L2 on every fill and eviction, so there is no set partition to shard")
 	case s.Shards > 1 && kindErr == nil && !kind.SetLocal():
 		add("shards", "controller %v keeps cross-set state and cannot be set-sharded; drop shards or pick conventional|word|rmw|localrmw", kind)
 	case s.Shards > 1 && polErr == nil && pol == cache.Random:
@@ -235,4 +318,46 @@ func (s JobSpec) CoreOptions() core.Options {
 		DisableSilentElision: s.Options.DisableSilentElision,
 		CountFillTraffic:     s.Options.CountFillTraffic,
 	}
+}
+
+// HierConfig translates a validated hierarchy spec into the two-level run
+// configuration.
+func (s JobSpec) HierConfig() (hier.Config, error) {
+	if !s.Hierarchy || s.L2 == nil {
+		return hier.Config{}, fmt.Errorf("server: not a hierarchy spec")
+	}
+	l1Kind, err := core.ParseKind(s.Controller)
+	if err != nil {
+		return hier.Config{}, err
+	}
+	l1Cfg, err := s.CacheConfig()
+	if err != nil {
+		return hier.Config{}, err
+	}
+	l2Kind, err := core.ParseKind(s.L2.Controller)
+	if err != nil {
+		return hier.Config{}, err
+	}
+	l2Pol, err := cache.ParsePolicy(s.L2.Cache.Policy)
+	if err != nil {
+		return hier.Config{}, err
+	}
+	return hier.Config{
+		L1Kind: l1Kind,
+		L1:     l1Cfg,
+		Opts:   s.CoreOptions(),
+		L2Kind: l2Kind,
+		L2: cache.Config{
+			SizeBytes:  s.L2.Cache.SizeKB * 1024,
+			Ways:       s.L2.Cache.Ways,
+			BlockBytes: s.L2.Cache.BlockBytes,
+			Policy:     l2Pol,
+			Seed:       s.Seed,
+		},
+		L2Opts: core.Options{
+			BufferDepth:          s.L2.Options.BufferDepth,
+			DisableSilentElision: s.L2.Options.DisableSilentElision,
+			CountFillTraffic:     s.L2.Options.CountFillTraffic,
+		},
+	}, nil
 }

@@ -119,3 +119,62 @@ func TestEnergyPerOpAt(t *testing.T) {
 		t.Errorf("EnergyPerOpAt = %v, want 1.0", got)
 	}
 }
+
+func TestNineTCellProfile(t *testing.T) {
+	// The 9T near-threshold cell: deeper Vmin than 8T, one more transistor,
+	// the same decoupled read port, a small area adder at every node.
+	if NineT.VminVolts() >= EightT.VminVolts() {
+		t.Fatalf("9T Vmin %.2f not below 8T Vmin %.2f", NineT.VminVolts(), EightT.VminVolts())
+	}
+	if NineT.Transistors() != 9 || NineT.ReadPorts() != 1 {
+		t.Fatalf("9T cell: %d transistors, %d read ports", NineT.Transistors(), NineT.ReadPorts())
+	}
+	for _, node := range []int{65, 45, 32, 22} {
+		nine, err := NineT.AreaUm2(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eight, err := EightT.AreaUm2(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nine <= eight {
+			t.Errorf("%dnm: 9T area %.3f not above 8T %.3f", node, nine, eight)
+		}
+	}
+}
+
+func TestNineTEnergyScaling(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Cell = EightT
+	eight, err := NewEnergyModel(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cell = SixT
+	six, err := NewEnergyModel(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cell = NineT
+	nine, err := NewEnergyModel(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6T and 8T share the baseline figures exactly — adding the 9T variant
+	// must not reprice a single existing artifact.
+	if six.ReadEnergy() != eight.ReadEnergy() || six.LeakagePerCellWatts != eight.LeakagePerCellWatts {
+		t.Fatalf("6T/8T baselines diverged: read %.3e vs %.3e", six.ReadEnergy(), eight.ReadEnergy())
+	}
+	// The 9T trade (arXiv:1812.10011): ~10% heavier read bit line, ~45% less
+	// per-cell static power.
+	if r := nine.CBitlinePerCell / eight.CBitlinePerCell; math.Abs(r-1.10) > 1e-9 {
+		t.Errorf("9T bitline cap ratio = %.3f, want 1.10", r)
+	}
+	if r := nine.LeakagePerCellWatts / eight.LeakagePerCellWatts; math.Abs(r-0.55) > 1e-9 {
+		t.Errorf("9T leakage ratio = %.3f, want 0.55", r)
+	}
+	if nine.ReadEnergy() <= eight.ReadEnergy() {
+		t.Errorf("9T read %.3e not above 8T read %.3e", nine.ReadEnergy(), eight.ReadEnergy())
+	}
+}

@@ -29,6 +29,17 @@ package trace
 // The free list is the backpressure: a shard that stops consuming holds the
 // decoder up after at most ring-depth slabs of read-ahead, so memory stays
 // constant for arbitrarily long streams.
+//
+// Slab capacity is adaptive (ROADMAP 3c). A shard's slabs start at an
+// even-split guess — twice batch-length/shards, power-of-two rounded — and
+// the decoder tracks each shard's peak per-batch ownership as it routes.
+// When a recycled slab's capacity has fallen behind the observed peak it is
+// replaced with a larger one (power-of-two steps, capped at the batch
+// length) on its way out of the free list. Balanced routings therefore keep
+// every shard near batch/shards of slab memory instead of a full batch per
+// slab, a skewed shard grows to exactly what it owns, and because growth is
+// monotone and happens only while the peak is still rising, steady state
+// recycles without allocating.
 
 import (
 	"fmt"
@@ -38,6 +49,25 @@ import (
 // DefaultRouteSlabs is the per-shard ring depth used when callers pass
 // slabs <= 0.
 const DefaultRouteSlabs = 4
+
+// minSlabCap floors adaptive slab capacity: below this, per-slab channel
+// handshakes dominate and the memory saved is noise.
+const minSlabCap = 64
+
+// adaptSlabCap returns the adaptive slab capacity for an observed (or
+// guessed) per-batch ownership peak: the smallest power-of-two multiple of
+// minSlabCap that covers peak, never above the batch length (a slab can
+// always hold everything one shard owns of one batch).
+func adaptSlabCap(peak, size int) int {
+	c := minSlabCap
+	for c < peak && c < size {
+		c <<= 1
+	}
+	if c > size {
+		c = size
+	}
+	return c
+}
 
 // RouteFunc assigns each access of a decoded batch to a shard: called once
 // per batch, it must fill dst[i] with the shard index owning batch[i], for
@@ -68,6 +98,7 @@ type RouteBroadcast struct {
 	dec   decoder
 	route RouteFunc
 	dst   []int32 // per-batch shard assignment, reused across batches
+	owned []int   // per-shard ownership count of the current batch, reused
 	feeds []*ShardFeed
 	quit  chan struct{} // closed when every feed has stopped early
 	done  chan struct{} // closed when the decoder goroutine exits
@@ -77,9 +108,11 @@ type RouteBroadcast struct {
 
 // NewRouteBroadcast returns a running RouteBroadcast over src with shards
 // feeds, batch length size (<= 0 means DefaultBatchSize), and slabs ring
-// slots per shard (<= 0 means DefaultRouteSlabs). Slab capacity equals the
-// batch length, so even a shard owning the whole stream never overflows a
-// fill.
+// slots per shard (<= 0 means DefaultRouteSlabs). Slabs start at an
+// even-split capacity guess and grow toward each shard's observed peak
+// per-batch ownership as the decoder routes; a slab smaller than what a
+// shard owns of one batch just publishes mid-batch, so no fill can ever
+// overflow.
 func NewRouteBroadcast(src Stream, route RouteFunc, size, shards, slabs int) *RouteBroadcast {
 	if slabs <= 0 {
 		slabs = DefaultRouteSlabs
@@ -94,15 +127,20 @@ func NewRouteBroadcast(src Stream, route RouteFunc, size, shards, slabs int) *Ro
 		done:  make(chan struct{}),
 	}
 	b.dst = make([]int32, b.dec.size)
+	b.owned = make([]int, shards)
 	b.feeds = make([]*ShardFeed, shards)
+	// Twice the even split: routing is rarely perfectly balanced, and the
+	// headroom keeps ordinary variance from triggering growth at all.
+	initCap := adaptSlabCap(2*b.dec.size/shards, b.dec.size)
 	for i := range b.feeds {
 		f := &ShardFeed{
-			b:    b,
-			ring: make(chan *Cols, slabs),
-			free: make(chan *Cols, slabs),
+			b:       b,
+			ring:    make(chan *Cols, slabs),
+			free:    make(chan *Cols, slabs),
+			slabCap: initCap,
 		}
 		for j := 0; j < slabs; j++ {
-			f.free <- NewCols(b.dec.size)
+			f.free <- NewCols(initCap)
 		}
 		b.feeds[i] = f
 	}
@@ -150,6 +188,24 @@ func (b *RouteBroadcast) pump() {
 		}
 		dst := b.dst[:len(batch)]
 		b.route(batch, dst)
+		// Count ownership before appending so even this batch's slab
+		// acquisitions see the updated density target.
+		for i := range b.owned {
+			b.owned[i] = 0
+		}
+		for _, k := range dst {
+			if k >= 0 && int(k) < len(b.owned) {
+				b.owned[k]++
+			}
+		}
+		for i, f := range b.feeds {
+			if b.owned[i] > f.peak {
+				f.peak = b.owned[i]
+				if c := adaptSlabCap(f.peak, b.dec.size); c > f.slabCap {
+					f.slabCap = c
+				}
+			}
+		}
 		for i := range dst {
 			k := dst[i]
 			if k < 0 || int(k) >= len(b.feeds) {
@@ -191,6 +247,12 @@ type ShardFeed struct {
 	fill *Cols // decoder-side open slab; consumers never touch it
 	cur  *Cols // consumer-side slab being read
 	done bool
+
+	// Decoder-side adaptive sizing state: the peak per-batch ownership seen
+	// so far and the slab capacity it implies. Slabs behind the target are
+	// replaced as they leave the free list.
+	peak    int
+	slabCap int
 }
 
 // acquire blocks until a free slab is available (returning true) or the
@@ -201,7 +263,14 @@ type ShardFeed struct {
 func (f *ShardFeed) acquire() bool {
 	select {
 	case s := <-f.free:
-		s.Reset()
+		if s.Cap() < f.slabCap {
+			// The shard's observed ownership outgrew this slab; swap in a
+			// right-sized one. The population count is unchanged, so the
+			// ring/free-list capacity invariants hold.
+			s = NewCols(f.slabCap)
+		} else {
+			s.Reset()
+		}
 		f.fill = s
 		return true
 	case <-f.b.quit:

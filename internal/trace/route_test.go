@@ -313,6 +313,68 @@ func TestRouteBroadcastSteadyStateNoAlloc(t *testing.T) {
 	b.Stop()
 }
 
+func TestRouteBroadcastAdaptiveSlabSizing(t *testing.T) {
+	const size, shards = 1024, 8
+	want := broadcastAccesses(size * 40)
+	evenSplit := adaptSlabCap(2*size/shards, size)
+
+	// Balanced mod routing: observed ownership stays under the even-split
+	// headroom, so every delivered slab keeps the initial capacity — an
+	// 8-shard fan-out holds size/4 per slab instead of a full batch each.
+	b := NewRouteBroadcast(FromSlice(want), modRoute(shards), size, shards, 0)
+	caps := make([]map[int]bool, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		caps[i] = map[int]bool{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := b.Shard(i)
+			for {
+				cols, ok := f.Next()
+				if !ok {
+					return
+				}
+				caps[i][cols.Cap()] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.Stop()
+	for i := 0; i < shards; i++ {
+		for c := range caps[i] {
+			if c != evenSplit {
+				t.Fatalf("balanced shard %d delivered a %d-cap slab, want the even-split %d", i, c, evenSplit)
+			}
+		}
+		if got := b.Shard(i).slabCap; got != evenSplit {
+			t.Fatalf("balanced shard %d target grew to %d, want %d", i, got, evenSplit)
+		}
+	}
+
+	// Fully skewed routing: the owning shard's slabs must grow to the batch
+	// length while the starved shards keep the initial capacity.
+	skew := func(batch []Access, dst []int32) {
+		for i := range batch {
+			dst[i] = 0
+		}
+	}
+	b2 := NewRouteBroadcast(FromSlice(want), skew, size, shards, 0)
+	got := fanOutRouted(b2, shards)
+	b2.Stop()
+	if len(got[0]) != len(want) {
+		t.Fatalf("skewed shard 0 saw %d accesses, want %d", len(got[0]), len(want))
+	}
+	if got := b2.Shard(0).slabCap; got != size {
+		t.Fatalf("skewed shard 0 target = %d, want the batch length %d", got, size)
+	}
+	for i := 1; i < shards; i++ {
+		if got := b2.Shard(i).slabCap; got != evenSplit {
+			t.Fatalf("starved shard %d target = %d, want the initial %d", i, got, evenSplit)
+		}
+	}
+}
+
 func TestRouteBroadcastEmptySource(t *testing.T) {
 	b := NewRouteBroadcast(FromSlice(nil), modRoute(2), 64, 2, 0)
 	for i, got := range fanOutRouted(b, 2) {
